@@ -1,0 +1,105 @@
+// E5 — Equations (9)-(12): eager replication's instability. Wait and
+// deadlock rates versus the number of nodes, with the headline claim:
+// "Going from one-node to ten nodes increases the deadlock rate a
+// thousand fold" (deadlock rate ~ Nodes^3).
+//
+// Also runs the eager-MASTER variant (the model "does not distinguish
+// between Master and Group" — Eq. 12 should describe both) and the
+// footnote-2 parallel-update ablation (quadratic, not cubic).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+
+void Main() {
+  PrintBanner("E5", "Eager replication scaling",
+              "Equations (9)-(12) (pp. 177-178)");
+  SimConfig base;
+  base.kind = SchemeKind::kEagerGroup;
+  base.db_size = 2000;
+  base.tps = 10;
+  base.actions = 4;
+  base.action_time = 0.01;
+  base.sim_seconds = 1500;
+
+  std::printf("DB_Size=%llu TPS=%.0f/node Actions=%u Action_Time=%.0fms "
+              "window=%.0fs\n\n",
+              (unsigned long long)base.db_size, base.tps, base.actions,
+              base.action_time * 1000, base.sim_seconds);
+  std::printf("%5s | %-23s | %-23s | %-11s\n", "",
+              "wait rate (/s)", "deadlock rate (/s)", "eager-master");
+  std::printf("%5s | %11s %11s | %11s %11s | %11s\n", "nodes", "Eq.(10)",
+              "measured", "Eq.(12)", "measured", "deadlk/s");
+  std::printf("------+-------------------------+------------------------"
+              "-+------------\n");
+
+  std::vector<std::pair<double, double>> group_points, wait_points,
+      master_points;
+  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+    SimConfig config = base;
+    config.nodes = nodes;
+    SimOutcome group = RunScheme(config);
+    config.kind = SchemeKind::kEagerMaster;
+    SimOutcome master = RunScheme(config);
+    analytic::ModelParams p = ToModelParams(config);
+    std::printf("%5u | %11.4f %11.4f | %11.5f %11.5f | %11.5f\n", nodes,
+                analytic::EagerWaitRate(p), group.wait_rate(),
+                analytic::EagerDeadlockRate(p), group.deadlock_rate(),
+                master.deadlock_rate());
+    group_points.emplace_back(nodes, group.deadlock_rate());
+    wait_points.emplace_back(nodes, group.wait_rate());
+    master_points.emplace_back(nodes, master.deadlock_rate());
+  }
+  std::printf(
+      "\nMeasured growth exponents: waits %.2f (model 3.00), group "
+      "deadlocks %.2f,\nmaster deadlocks %.2f (model 3.00).\n",
+      FitPowerLawExponent(wait_points), FitPowerLawExponent(group_points),
+      FitPowerLawExponent(master_points));
+  std::printf(
+      "The GROUP deadlock level runs above Eq. (12): two nodes updating\n"
+      "the same object lock its replicas in opposite orders and deadlock\n"
+      "on that single object — precisely the \"second order effect of two\n"
+      "transactions racing to update the same object\" the paper notes\n"
+      "Eq. (12) ignores. Eager MASTER orders every writer through the\n"
+      "owner, removing the race; its level sits at/below the model.\n");
+
+  // Footnote-2 ablation: parallel replica updates keep the transaction
+  // duration constant; the model predicts quadratic (N^2) growth.
+  std::printf("\nAblation — parallel replica updates (footnote 2):\n");
+  std::printf("%5s | %15s\n", "nodes", "deadlock rate/s");
+  std::vector<std::pair<double, double>> parallel_points;
+  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+    SimConfig config = base;
+    config.kind = SchemeKind::kEagerGroupParallel;
+    config.nodes = nodes;
+    SimOutcome out = RunScheme(config);
+    std::printf("%5u | %15.5f\n", nodes, out.deadlock_rate());
+    parallel_points.emplace_back(nodes, out.deadlock_rate());
+  }
+  std::printf(
+      "Parallel-update growth exponent: %.2f (footnote-2 model: ~2; the\n"
+      "serial model above: 3) — \"if replica updates were done "
+      "concurrently ... the growth rate would only be quadratic\".\n",
+      FitPowerLawExponent(parallel_points));
+
+  // Read-lock ablation: "true serialization" can only be worse.
+  std::printf("\nAblation — exclusive read locks (true serialization):\n");
+  {
+    SimConfig config = base;
+    config.nodes = 5;
+    config.mix.read = 0.5;  // half the actions are reads
+    config.mix.write = 0.5;
+    SimOutcome no_rl = RunScheme(config);
+    config.kind = SchemeKind::kEagerGroupReadLocks;
+    SimOutcome rl = RunScheme(config);
+    std::printf("  N=5, 50%% reads: deadlock rate %.5f/s without read "
+                "locks vs %.5f/s with (must be >=)\n",
+                no_rl.deadlock_rate(), rl.deadlock_rate());
+  }
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

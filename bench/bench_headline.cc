@@ -1,0 +1,113 @@
+// E12 — The abstract's headline: "Update anywhere-anytime-anyway
+// transactional replication has unstable behavior as the workload scales
+// up: a ten-fold increase in nodes and traffic gives a thousand fold
+// increase in deadlocks or reconciliations. Master copy replication
+// schemes reduce this problem."
+//
+// One table, all schemes, N in {2, 5, 10}, every rate normalized to its
+// own N=2 value (at N=1 failure rates are vanishingly small in both the
+// model and the simulation — there is nothing robust to divide by). The
+// model ratios from 2 -> 10 are (10/2)^3 = 125x for the update-anywhere
+// schemes and (10/2)^2 = 25x for master-copy schemes; the 1 -> 10 story
+// is the abstract's 1000x vs 100x.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+namespace {
+
+double Normalized(double value, double base) {
+  return base > 0 ? value / base : 0;
+}
+
+}  // namespace
+
+void Main() {
+  PrintBanner("E12", "Headline scaling table",
+              "Abstract + Sections 3-5 summary");
+  SimConfig base;
+  base.db_size = 800;
+  base.tps = 4;
+  base.actions = 5;
+  base.action_time = 0.01;
+
+  std::printf("Failure events/second, normalized to each scheme's 2-node "
+              "rate.\nfailure = deadlock (eager, lazy-master) or "
+              "reconciliation (lazy-group).\nModel ratios 2->10: 125x "
+              "(update anywhere, cubic) vs 25x (master, quadratic);\n"
+              "extrapolated 1->10: 1000x vs 100x, the abstract's claim.\n"
+              "(Each column runs at its own contention level so its rare\n"
+              "events are measurable; ratios are within-column.)\n\n");
+  std::printf("%5s | %-23s | %-23s | %-23s\n", "", "eager group (Eq.12)",
+              "lazy group (Eq.14)", "lazy master (Eq.19)");
+  std::printf("%5s | %11s %11s | %11s %11s | %11s %11s\n", "nodes", "model",
+              "measured", "model", "measured", "model", "measured");
+  std::printf("------+-------------------------+------------------------"
+              "-+-------------------------\n");
+
+  double eager2 = 0, lazy2 = 0, master2 = 0;
+  double eager2_m = 0, lazy2_m = 0, master2_m = 0;
+  for (std::uint32_t nodes : {2u, 5u, 10u}) {
+    SimConfig config = base;
+    config.nodes = nodes;
+    analytic::ModelParams p = ToModelParams(config);
+
+    // Longer windows at small N (rare events), shorter at N=10 (the
+    // cluster is saturating — that IS the instability).
+    config.kind = SchemeKind::kEagerGroup;
+    config.sim_seconds = nodes >= 10 ? 400 : (nodes >= 5 ? 3000 : 8000);
+    SimOutcome eager = RunScheme(config);
+
+    config.kind = SchemeKind::kLazyGroup;
+    config.sim_seconds = nodes >= 10 ? 400 : (nodes >= 5 ? 3000 : 8000);
+    SimOutcome lazy = RunScheme(config);
+
+    // Lazy-master deadlocks are ~30x rarer at the same parameters; its
+    // column runs a hotter database (still model-regime) so the N=2
+    // baseline has events. Ratios stay within-column.
+    config.kind = SchemeKind::kLazyMaster;
+    config.db_size = 300;
+    config.sim_seconds = nodes >= 10 ? 1500 : (nodes >= 5 ? 3000 : 8000);
+    SimOutcome master = RunScheme(config);
+    analytic::ModelParams pm = ToModelParams(config);
+
+    double em = analytic::EagerDeadlockRate(p);
+    double lm = analytic::LazyGroupReconciliationRate(p);
+    double mm = analytic::LazyMasterDeadlockRate(pm);
+    if (nodes == 2) {
+      eager2 = em;
+      lazy2 = lm;
+      master2 = mm;
+      eager2_m = eager.deadlock_rate();
+      lazy2_m = lazy.reconciliation_rate();
+      master2_m = master.deadlock_rate();
+    }
+    std::printf("%5u | %10.1fx %10.1fx | %10.1fx %10.1fx | %10.1fx "
+                "%10.1fx\n",
+                nodes, Normalized(em, eager2),
+                Normalized(eager.deadlock_rate(), eager2_m),
+                Normalized(lm, lazy2),
+                Normalized(lazy.reconciliation_rate(), lazy2_m),
+                Normalized(mm, master2),
+                Normalized(master.deadlock_rate(), master2_m));
+  }
+  std::printf(
+      "\nReading the last row: lazy-master tracks its quadratic model\n"
+      "(~25x). Eager group OVERSHOOTS its cubic model via the\n"
+      "same-object replica-ordering race (E5's note) — worse than\n"
+      "advertised. Lazy group UNDERSHOOTS its headline ratio for the\n"
+      "opposite reason: its N=2 baseline is already cascade-inflated and\n"
+      "by N=10 nearly every replica update needs reconciliation — the\n"
+      "rate hits its ceiling (total system delusion; see the divergent\n"
+      "slot counts in bench_lazy_group). Both distortions are the\n"
+      "instability the abstract warns about, arriving even sooner than\n"
+      "the first-order model predicts. The two-tier scheme inherits the\n"
+      "master column for its base transactions and drives reconciliation\n"
+      "to zero with commutative transactions (bench_two_tier).\n");
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

@@ -1,0 +1,59 @@
+// E9 — Equation (19): lazy-master replication. Master transactions
+// contend at the owners, giving a deadlock rate quadratic in Nodes:
+// (TPS x Nodes)^2 x Action_Time x Actions^5 / (4 x DB_Size^2).
+// "This is better behavior than lazy-group replication" — and there are
+// NO reconciliations, ever.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+
+void Main() {
+  PrintBanner("E9", "Lazy-master deadlock scaling",
+              "Equation (19) (p. 179)");
+  SimConfig base;
+  base.kind = SchemeKind::kLazyMaster;
+  base.db_size = 500;
+  base.tps = 10;
+  base.actions = 5;
+  base.action_time = 0.01;
+  base.sim_seconds = 3000;
+
+  std::printf("DB_Size=%llu TPS=%.0f/node Actions=%u Action_Time=%.0fms\n\n",
+              (unsigned long long)base.db_size, base.tps, base.actions,
+              base.action_time * 1000);
+  std::printf("%5s | %-23s | %11s | %11s | %11s\n", "",
+              "master deadlock rate/s", "reconcile", "eager", "divergent");
+  std::printf("%5s | %11s %11s | %11s | %11s | %11s\n", "nodes", "Eq.(19)",
+              "measured", "measured", "Eq.(12)", "slots");
+  std::printf("------+-------------------------+-------------+----------"
+              "---+------------\n");
+
+  std::vector<std::pair<double, double>> points;
+  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+    SimConfig config = base;
+    config.nodes = nodes;
+    SimOutcome out = RunScheme(config);
+    analytic::ModelParams p = ToModelParams(config);
+    std::printf("%5u | %11.5f %11.5f | %11llu | %11.5f | %11llu\n", nodes,
+                analytic::LazyMasterDeadlockRate(p), out.deadlock_rate(),
+                (unsigned long long)out.reconciliations,
+                analytic::EagerDeadlockRate(p),
+                (unsigned long long)out.divergent_slots);
+    points.emplace_back(nodes, out.deadlock_rate());
+  }
+  std::printf(
+      "\nMeasured deadlock growth exponent: %.2f (model 2.00 — versus\n"
+      "3.00 for eager). Reconciliations are identically zero: \"lazy-\n"
+      "master systems have no reconciliation failures; rather, conflicts\n"
+      "are resolved by waiting or deadlock\" (§5). Divergent slots decay\n"
+      "to the in-flight refresh backlog (newer-wins convergence, not\n"
+      "delusion).\n",
+      FitPowerLawExponent(points));
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

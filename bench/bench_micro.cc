@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: event
+// scheduling, lock acquisition, deadlock search, RNG, and store digests.
+// These bound how large a simulated cluster the experiment benches can
+// afford; they are not paper artifacts themselves.
+
+#include <benchmark/benchmark.h>
+
+#include "replication/cluster.h"
+#include "replication/eager.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+#include "storage/object_store.h"
+#include "txn/lock_manager.h"
+#include "util/rng.h"
+
+namespace tdr {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int kEvents = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sim.ScheduleAt(SimTime::Micros(i % 997), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      if (++ticks < 10000) sim.ScheduleAfter(SimTime::Micros(1), tick);
+    };
+    sim.ScheduleAfter(SimTime::Micros(1), tick);
+    sim.Run();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorSelfRescheduling);
+
+void BM_LockAcquireReleaseUncontended(benchmark::State& state) {
+  WaitForGraph graph;
+  LockManager locks(0, &graph);
+  TxnId txn = 1;
+  ObjectId oid = 0;
+  for (auto _ : state) {
+    locks.Acquire(txn, oid, nullptr);
+    locks.Release(txn, oid);
+    ++txn;
+    oid = (oid + 1) % 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireReleaseUncontended);
+
+void BM_LockConflictChainGrant(benchmark::State& state) {
+  const int kChain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WaitForGraph graph;
+    LockManager locks(0, &graph);
+    locks.Acquire(1, 7, nullptr);
+    for (TxnId t = 2; t <= static_cast<TxnId>(kChain); ++t) {
+      locks.Acquire(t, 7, [] {});
+    }
+    locks.ReleaseAll(1);
+    for (TxnId t = 2; t <= static_cast<TxnId>(kChain); ++t) {
+      locks.ReleaseAll(t);
+    }
+    benchmark::DoNotOptimize(locks.WaiterCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_LockConflictChainGrant)->Arg(8)->Arg(64);
+
+void BM_WaitForGraphCycleSearch(benchmark::State& state) {
+  const TxnId kChain = static_cast<TxnId>(state.range(0));
+  WaitForGraph graph;
+  for (TxnId t = 1; t < kChain; ++t) graph.AddEdge(t, t + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.HasCycleFrom(1));
+  }
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_WaitForGraphCycleSearch)->Arg(16)->Arg(256);
+
+void BM_ObjectStoreDigest(benchmark::State& state) {
+  ObjectStore store(static_cast<std::uint64_t>(state.range(0)));
+  for (ObjectId oid = 0; oid < store.size(); ++oid) {
+    store.Put(oid, Value(static_cast<std::int64_t>(oid * 31)),
+              Timestamp(oid + 1, 0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Digest());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObjectStoreDigest)->Arg(1024)->Arg(65536);
+
+void BM_RngSampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rng.SampleWithoutReplacement(10000, state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngSampleWithoutReplacement)->Arg(4)->Arg(64);
+
+void BM_EndToEndEagerCluster(benchmark::State& state) {
+  // One full simulated second of a loaded 3-node eager cluster — the
+  // experiment benches' inner loop.
+  for (auto _ : state) {
+    Cluster::Options copts;
+    copts.num_nodes = 3;
+    copts.db_size = 1000;
+    copts.action_time = SimTime::Millis(10);
+    Cluster cluster(copts);
+    EagerGroupScheme scheme(&cluster);
+    Rng rng = cluster.ForkRng();
+    ProgramGenerator::Options gopts;
+    gopts.db_size = copts.db_size;
+    gopts.actions = 4;
+    ProgramGenerator gen(gopts);
+    for (int i = 0; i < 50; ++i) {
+      NodeId origin = static_cast<NodeId>(rng.UniformInt(3));
+      scheme.Submit(origin, gen.Next(rng), nullptr);
+    }
+    cluster.sim().Run();
+    benchmark::DoNotOptimize(cluster.executor().committed());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_EndToEndEagerCluster);
+
+}  // namespace
+}  // namespace tdr
+
+BENCHMARK_MAIN();

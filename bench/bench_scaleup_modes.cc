@@ -1,0 +1,102 @@
+// E3 — Figure 3: "Systems can grow by (1) scaleup, (2) partitioning, or
+// (3) replication ... Notice that each of the replicated servers is
+// performing 2 TPS and the aggregate rate is 4 TPS. Doubling the users
+// increased the total workload by a factor of four."
+//
+// We reproduce the figure's four boxes as simulations and report the
+// per-server and aggregate update-processing rates.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+namespace {
+
+struct BoxResult {
+  double per_server_tps;    // user transactions processed per server/s
+  double per_server_work;   // update actions processed per server/s
+  double aggregate_work;    // update actions processed cluster-wide/s
+};
+
+// A centralized (or partitioned-shard) server: one node, `tps` user load.
+BoxResult RunStandalone(double tps, std::uint32_t servers) {
+  SimConfig config;
+  config.kind = SchemeKind::kLazyGroup;  // irrelevant at N=1: no replicas
+  config.nodes = 1;
+  config.db_size = 10000;
+  config.tps = tps;
+  config.actions = 2;
+  config.action_time = 0.001;
+  config.sim_seconds = 200;
+  SimOutcome out = RunScheme(config);
+  BoxResult r;
+  r.per_server_tps = out.Rate(out.committed);
+  r.per_server_work = out.Rate(out.committed * config.actions);
+  r.aggregate_work = r.per_server_work * servers;
+  return r;
+}
+
+// Two replicated servers, each with its own users at `tps`: every server
+// does its own work plus the other's replica updates.
+BoxResult RunReplicated(double tps) {
+  SimConfig config;
+  config.kind = SchemeKind::kLazyGroup;
+  config.nodes = 2;
+  config.db_size = 10000;
+  config.tps = tps;
+  config.actions = 2;
+  config.action_time = 0.001;
+  config.sim_seconds = 200;
+  SimOutcome out = RunScheme(config);
+  BoxResult r;
+  double own_work = static_cast<double>(out.committed) * config.actions;
+  double replica_work = static_cast<double>(out.replica_applied);
+  r.aggregate_work = (own_work + replica_work) / out.seconds;
+  r.per_server_work = r.aggregate_work / 2;
+  r.per_server_tps = r.per_server_work / config.actions;
+  return r;
+}
+
+}  // namespace
+
+void Main() {
+  PrintBanner("E3", "Scaleup vs partitioning vs replication",
+              "Figure 3 (p. 176)");
+  std::printf("Workload: 1 'TPS' box = 1 user txn/s of 2 updates.\n\n");
+  std::printf("%-34s | %10s | %12s | %12s\n", "configuration",
+              "servers", "work/server", "total work");
+  std::printf("-----------------------------------+------------+----------"
+              "----+--------------\n");
+
+  BoxResult base = RunStandalone(1.0, 1);
+  std::printf("%-34s | %10u | %12.2f | %12.2f\n",
+              "base case: 1 server, 1 TPS", 1, base.per_server_work,
+              base.aggregate_work);
+
+  BoxResult scaleup = RunStandalone(2.0, 1);
+  std::printf("%-34s | %10u | %12.2f | %12.2f\n",
+              "scaleup: 1 bigger server, 2 TPS", 1,
+              scaleup.per_server_work, scaleup.aggregate_work);
+
+  BoxResult partitioned = RunStandalone(1.0, 2);
+  std::printf("%-34s | %10u | %12.2f | %12.2f\n",
+              "partitioning: 2 shards, 1 TPS each", 2,
+              partitioned.per_server_work, partitioned.aggregate_work);
+
+  BoxResult replicated = RunReplicated(1.0);
+  std::printf("%-34s | %10u | %12.2f | %12.2f\n",
+              "replication: 2 replicas, 1 TPS each", 2,
+              replicated.per_server_work, replicated.aggregate_work);
+
+  std::printf(
+      "\nFigure 3's point: the replicated servers each process ~2x the\n"
+      "update work of a partitioned shard (own updates + the peer's\n"
+      "replica updates), so doubling users quadrupled total work:\n"
+      "  replicated total / base total = %.2f (model: 4.0)\n",
+      replicated.aggregate_work / base.aggregate_work);
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

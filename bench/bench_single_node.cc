@@ -1,0 +1,61 @@
+// E4 — Equations (2)-(5): single-node wait probability, deadlock
+// probability, and node deadlock rate, measured against the closed form.
+//
+// Sweeps the transaction size (Actions) at fixed TPS/DB_Size, the axis
+// along which the model predicts the sharpest growth (PW ~ Actions^3
+// through equation (2)'s Transactions term, PD ~ Actions^5).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+
+void Main() {
+  PrintBanner("E4", "Single-node waits and deadlocks",
+              "Equations (2)-(5) (p. 177)");
+  SimConfig base;
+  base.kind = SchemeKind::kEagerGroup;  // N=1: plain single-node locking
+  base.nodes = 1;
+  base.db_size = 500;
+  base.tps = 40;
+  base.action_time = 0.01;
+  base.sim_seconds = 2000;
+
+  std::printf("DB_Size=%llu TPS=%.0f Action_Time=%.0fms window=%.0fs\n\n",
+              (unsigned long long)base.db_size, base.tps,
+              base.action_time * 1000, base.sim_seconds);
+  std::printf("%7s | %-23s | %-23s\n", "",
+              "P(wait) per txn", "node deadlock rate (/s)");
+  std::printf("%7s | %11s %11s | %11s %11s\n", "actions", "Eq.(2)",
+              "measured", "Eq.(5)", "measured");
+  std::printf("--------+-------------------------+---------------------"
+              "----\n");
+
+  std::vector<std::pair<double, double>> deadlock_points;
+  std::vector<double> model_rates;
+  for (std::uint32_t actions : {2u, 4u, 6u, 8u}) {
+    SimConfig config = base;
+    config.actions = actions;
+    SimOutcome out = RunScheme(config);
+    analytic::ModelParams p = ToModelParams(config);
+    double measured_pw =
+        out.submitted > 0
+            ? static_cast<double>(out.waits) /
+                  static_cast<double>(out.submitted)
+            : 0;
+    std::printf("%7u | %11.4f %11.4f | %11.4f %11.4f\n", actions,
+                analytic::SingleNodeWaitProbability(p), measured_pw,
+                analytic::SingleNodeDeadlockRate(p), out.deadlock_rate());
+    deadlock_points.emplace_back(actions, out.deadlock_rate());
+    model_rates.push_back(analytic::SingleNodeDeadlockRate(p));
+  }
+  std::printf(
+      "\nMeasured deadlock-rate growth exponent in Actions: %.2f "
+      "(model: 5.00 — \"the fifth power of the transaction size\")\n",
+      FitPowerLawExponent(deadlock_points));
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

@@ -1,0 +1,115 @@
+#include "bench/harness.h"
+
+#include <cmath>
+
+#include "replication/driver.h"
+
+namespace tdr::bench {
+
+std::string_view SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kEagerGroup:
+      return "eager-group";
+    case SchemeKind::kEagerGroupParallel:
+      return "eager-group-parallel";
+    case SchemeKind::kEagerGroupReadLocks:
+      return "eager-group-readlocks";
+    case SchemeKind::kEagerMaster:
+      return "eager-master";
+    case SchemeKind::kLazyGroup:
+      return "lazy-group";
+    case SchemeKind::kLazyMaster:
+      return "lazy-master";
+  }
+  return "?";
+}
+
+analytic::ModelParams ToModelParams(const SimConfig& config) {
+  analytic::ModelParams p;
+  p.db_size = static_cast<double>(config.db_size);
+  p.nodes = config.nodes;
+  p.tps = config.tps;
+  p.actions = config.actions;
+  p.action_time = config.action_time;
+  return p;
+}
+
+SimOutcome RunScheme(const SimConfig& config) {
+  Cluster::Options copts;
+  copts.num_nodes = config.nodes;
+  copts.db_size = config.db_size;
+  copts.action_time = SimTime::Seconds(config.action_time);
+  copts.seed = config.seed;
+  Cluster cluster(copts);
+
+  std::vector<NodeId> all_nodes(config.nodes);
+  for (std::uint32_t i = 0; i < config.nodes; ++i) all_nodes[i] = i;
+  Ownership ownership = Ownership::RoundRobin(config.db_size, all_nodes);
+
+  std::unique_ptr<ReplicationScheme> scheme;
+  LazyGroupScheme* lazy_group = nullptr;
+  switch (config.kind) {
+    case SchemeKind::kEagerGroup:
+      scheme = std::make_unique<EagerGroupScheme>(&cluster);
+      break;
+    case SchemeKind::kEagerGroupParallel: {
+      EagerGroupScheme::Options o;
+      o.parallel_replica_updates = true;
+      scheme = std::make_unique<EagerGroupScheme>(&cluster, o);
+      break;
+    }
+    case SchemeKind::kEagerGroupReadLocks: {
+      EagerGroupScheme::Options o;
+      o.lock_reads = true;
+      scheme = std::make_unique<EagerGroupScheme>(&cluster, o);
+      break;
+    }
+    case SchemeKind::kEagerMaster:
+      scheme = std::make_unique<EagerMasterScheme>(&cluster, &ownership);
+      break;
+    case SchemeKind::kLazyGroup: {
+      auto lg = std::make_unique<LazyGroupScheme>(&cluster);
+      lazy_group = lg.get();
+      scheme = std::move(lg);
+      break;
+    }
+    case SchemeKind::kLazyMaster:
+      scheme = std::make_unique<LazyMasterScheme>(&cluster, &ownership);
+      break;
+  }
+
+  (void)lazy_group;  // reconciliation routing now lives in the driver
+  WorkloadDriver::Options dopts;
+  dopts.tps_per_node = config.tps;
+  dopts.workload.actions = config.actions;
+  dopts.workload.mix = config.mix;
+  dopts.seconds = config.sim_seconds;
+  WorkloadDriver driver(&cluster, scheme.get(), dopts);
+  WorkloadDriver::Outcome out = driver.Run();
+
+  SimOutcome outcome;
+  outcome.seconds = out.seconds;
+  outcome.submitted = out.submitted;
+  outcome.committed = out.committed;
+  outcome.deadlocks = out.deadlocks;
+  outcome.waits = out.waits;
+  outcome.reconciliations = out.reconciliations;
+  outcome.unavailable = out.unavailable;
+  outcome.replica_deadlocks = out.replica_deadlocks;
+  outcome.replica_applied = out.replica_applied;
+  outcome.divergent_slots = out.divergent_slots;
+  return outcome;
+}
+
+void PrintBanner(const char* experiment_id, const char* title,
+                 const char* paper_ref) {
+  std::printf("\n");
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("Paper artifact: %s\n", paper_ref);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace tdr::bench

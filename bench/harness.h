@@ -1,0 +1,83 @@
+#ifndef TDR_BENCH_HARNESS_H_
+#define TDR_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytic/fit.h"
+#include "analytic/model.h"
+#include "replication/cluster.h"
+#include "replication/eager.h"
+#include "replication/lazy_group.h"
+#include "replication/lazy_master.h"
+#include "replication/ownership.h"
+#include "workload/workload.h"
+
+namespace tdr::bench {
+
+/// Which replication strategy a simulation run uses.
+enum class SchemeKind {
+  kEagerGroup,
+  kEagerGroupParallel,  // footnote-2 ablation: parallel replica updates
+  kEagerGroupReadLocks, // "true serialization" ablation
+  kEagerMaster,
+  kLazyGroup,
+  kLazyMaster,
+};
+
+std::string_view SchemeKindName(SchemeKind kind);
+
+/// One simulated run of the Table-2 workload model under a scheme.
+struct SimConfig {
+  SchemeKind kind = SchemeKind::kEagerGroup;
+  std::uint32_t nodes = 3;
+  std::uint64_t db_size = 2000;   // DB_Size
+  double tps = 20;                // TPS per node
+  std::uint32_t actions = 4;      // Actions per transaction
+  double action_time = 0.05;      // Action_Time (seconds)
+  double sim_seconds = 200;       // measurement window
+  std::uint64_t seed = 42;
+  OpMix mix = OpMix::AllWrites();
+};
+
+struct SimOutcome {
+  double seconds = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t deadlocks = 0;        // user-transaction deadlock victims
+  std::uint64_t waits = 0;            // user-transaction lock waits
+  std::uint64_t reconciliations = 0;  // lazy-group timestamp conflicts
+  std::uint64_t unavailable = 0;
+  std::uint64_t replica_deadlocks = 0;
+  std::uint64_t replica_applied = 0;
+  std::uint64_t divergent_slots = 0;  // replica divergence at end
+
+  double Rate(std::uint64_t count) const {
+    return seconds > 0 ? static_cast<double>(count) / seconds : 0;
+  }
+  double deadlock_rate() const { return Rate(deadlocks); }
+  double wait_rate() const { return Rate(waits); }
+  double reconciliation_rate() const { return Rate(reconciliations); }
+};
+
+/// Runs the uniform open-loop workload under `config` and returns the
+/// measured rates.
+SimOutcome RunScheme(const SimConfig& config);
+
+/// Maps a SimConfig onto the analytic model's parameters.
+analytic::ModelParams ToModelParams(const SimConfig& config);
+
+/// Measured growth exponent for "rate ~ nodes^k" claims; forwards to
+/// analytic::FitPowerLawExponent (see analytic/fit.h for the full fit).
+using analytic::FitPowerLawExponent;
+
+/// Banner printing shared by all experiment binaries.
+void PrintBanner(const char* experiment_id, const char* title,
+                 const char* paper_ref);
+
+}  // namespace tdr::bench
+
+#endif  // TDR_BENCH_HARNESS_H_

@@ -1,0 +1,60 @@
+#include "analytic/fit.h"
+
+#include <cmath>
+
+namespace tdr::analytic {
+
+PowerLawFit FitPowerLaw(const std::vector<std::pair<double, double>>& xy) {
+  PowerLawFit fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  int n = 0;
+  for (const auto& [x, y] : xy) {
+    if (x <= 0 || y <= 0) continue;
+    double lx = std::log(x), ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+    ++n;
+  }
+  fit.points_used = n;
+  if (n < 2) return fit;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.log_constant = (sy - fit.exponent * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    // SS_res = sum (ly - (k lx + c))^2, expanded in the accumulators.
+    double ss_res = syy - 2 * fit.exponent * sxy -
+                    2 * fit.log_constant * sy +
+                    fit.exponent * fit.exponent * sxx +
+                    2 * fit.exponent * fit.log_constant * sx +
+                    n * fit.log_constant * fit.log_constant;
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1.0;  // all y equal: a flat line fits perfectly
+  }
+  return fit;
+}
+
+double FitPowerLawExponent(
+    const std::vector<std::pair<double, double>>& xy) {
+  return FitPowerLaw(xy).exponent;
+}
+
+double GeometricMeanRatio(const std::vector<double>& measured,
+                          const std::vector<double>& model) {
+  double sum = 0;
+  int n = 0;
+  std::size_t limit = std::min(measured.size(), model.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (measured[i] <= 0 || model[i] <= 0) continue;
+    sum += std::log(measured[i] / model[i]);
+    ++n;
+  }
+  return n == 0 ? 0 : std::exp(sum / n);
+}
+
+}  // namespace tdr::analytic

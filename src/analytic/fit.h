@@ -1,0 +1,33 @@
+#ifndef TDR_ANALYTIC_FIT_H_
+#define TDR_ANALYTIC_FIT_H_
+
+#include <utility>
+#include <vector>
+
+namespace tdr::analytic {
+
+/// Result of a least-squares fit of log(y) = k·log(x) + c.
+struct PowerLawFit {
+  double exponent = 0;   // k — the growth order the paper's claims are about
+  double log_constant = 0;  // c
+  double r_squared = 0;  // goodness of fit in log-log space
+  int points_used = 0;   // points with x > 0 and y > 0
+};
+
+/// Fits y ~ C·x^k over the positive points of `xy`. This is how every
+/// bench turns a sweep into "measured growth exponent k (model: 3.00)".
+/// Needs at least two positive points; otherwise returns a zero fit.
+PowerLawFit FitPowerLaw(const std::vector<std::pair<double, double>>& xy);
+
+/// Convenience: just the exponent.
+double FitPowerLawExponent(const std::vector<std::pair<double, double>>& xy);
+
+/// Geometric mean of measured/model ratios over positive pairs — the
+/// constant-factor offset between a simulation sweep and the closed
+/// form (EXPERIMENTS.md quotes these). Returns 0 if no valid pair.
+double GeometricMeanRatio(const std::vector<double>& measured,
+                          const std::vector<double>& model);
+
+}  // namespace tdr::analytic
+
+#endif  // TDR_ANALYTIC_FIT_H_

@@ -1,0 +1,183 @@
+#include "analytic/model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tdr::analytic {
+
+namespace {
+double Pow(double b, int e) { return std::pow(b, e); }
+}  // namespace
+
+std::string ModelParams::ToString() const {
+  return StrPrintf(
+      "db_size=%.0f nodes=%.0f tps=%.3g actions=%.0f action_time=%.4gs "
+      "disconnect=%.3gs",
+      db_size, nodes, tps, actions, action_time, disconnected_time);
+}
+
+double ConcurrentTransactions(const ModelParams& p) {
+  // Eq. (1)
+  return p.tps * p.actions * p.action_time;
+}
+
+double SingleNodeWaitProbability(const ModelParams& p) {
+  // Eq. (2)
+  return ConcurrentTransactions(p) * p.actions * p.actions /
+         (2.0 * p.db_size);
+}
+
+double SingleNodeDeadlockProbability(const ModelParams& p) {
+  // Eq. (3): PW^2 / Transactions.
+  double pw = SingleNodeWaitProbability(p);
+  double txns = ConcurrentTransactions(p);
+  if (txns <= 0) return 0;
+  return pw * pw / txns;
+}
+
+double SingleNodeTxnDeadlockRate(const ModelParams& p) {
+  // Eq. (4): PD / (Actions x Action_Time).
+  return p.tps * Pow(p.actions, 4) / (4.0 * p.db_size * p.db_size);
+}
+
+double SingleNodeDeadlockRate(const ModelParams& p) {
+  // Eq. (5)
+  return p.tps * p.tps * p.action_time * Pow(p.actions, 5) /
+         (4.0 * p.db_size * p.db_size);
+}
+
+double SingleNodeWaitRate(const ModelParams& p) {
+  // PW / duration x Transactions (the Eq.(10) argument at Nodes = 1).
+  return p.tps * p.tps * p.action_time * Pow(p.actions, 3) /
+         (2.0 * p.db_size);
+}
+
+double EagerTransactionSize(const ModelParams& p) {
+  // Eq. (6)
+  return p.actions * p.nodes;
+}
+
+double EagerTransactionDuration(const ModelParams& p) {
+  // Eq. (6)
+  return p.actions * p.nodes * p.action_time;
+}
+
+double TotalTps(const ModelParams& p) {
+  // Eq. (6)
+  return p.tps * p.nodes;
+}
+
+double TotalTransactions(const ModelParams& p) {
+  // Eq. (7)
+  return p.tps * p.actions * p.action_time * p.nodes * p.nodes;
+}
+
+double ActionRate(const ModelParams& p) {
+  // Eq. (8)
+  return p.tps * p.actions * p.nodes * p.nodes;
+}
+
+double EagerWaitProbability(const ModelParams& p) {
+  // Eq. (9)
+  return p.tps * p.action_time * Pow(p.actions, 3) * p.nodes * p.nodes /
+         (2.0 * p.db_size);
+}
+
+double EagerWaitRate(const ModelParams& p) {
+  // Eq. (10)
+  return p.tps * p.tps * p.action_time * Pow(p.actions * p.nodes, 3) /
+         (2.0 * p.db_size);
+}
+
+double EagerDeadlockProbability(const ModelParams& p) {
+  // Eq. (11)
+  return p.tps * p.action_time * Pow(p.actions, 5) * p.nodes * p.nodes /
+         (4.0 * p.db_size * p.db_size);
+}
+
+double EagerDeadlockRate(const ModelParams& p) {
+  // Eq. (12)
+  return p.tps * p.tps * p.action_time * Pow(p.actions, 5) *
+         Pow(p.nodes, 3) / (4.0 * p.db_size * p.db_size);
+}
+
+double EagerDeadlockRateScaledDb(const ModelParams& p) {
+  // Eq. (13): substitute DB_Size -> db_size x Nodes into Eq. (12).
+  return p.tps * p.tps * p.action_time * Pow(p.actions, 5) * p.nodes /
+         (4.0 * p.db_size * p.db_size);
+}
+
+double LazyGroupReconciliationRate(const ModelParams& p) {
+  // Eq. (14) == Eq. (10): waits become reconciliations.
+  return EagerWaitRate(p);
+}
+
+double MobileOutboundUpdates(const ModelParams& p) {
+  // Eq. (15)
+  return p.disconnected_time * p.tps * p.actions;
+}
+
+double MobileInboundUpdates(const ModelParams& p) {
+  // Eq. (16)
+  return (p.nodes - 1.0) * p.disconnected_time * p.tps * p.actions;
+}
+
+double MobileCollisionProbability(const ModelParams& p) {
+  // Eq. (17). The paper approximates Nodes-1 by Nodes in the displayed
+  // closed form; we keep the exact product of Eqs. (15) and (16).
+  return MobileInboundUpdates(p) * MobileOutboundUpdates(p) / p.db_size;
+}
+
+double MobileReconciliationRate(const ModelParams& p) {
+  // Eq. (18): P(collision) x Nodes / Disconnect_Time.
+  if (p.disconnected_time <= 0) return 0;
+  return MobileCollisionProbability(p) * p.nodes / p.disconnected_time;
+}
+
+double LazyMasterDeadlockRate(const ModelParams& p) {
+  // Eq. (19)
+  return Pow(p.tps * p.nodes, 2) * p.action_time * Pow(p.actions, 5) /
+         (4.0 * p.db_size * p.db_size);
+}
+
+double TwoTierBaseDeadlockRate(const ModelParams& p) {
+  // §7: "When executing a base transaction, the two-tier scheme is a
+  // lazy-master scheme. So, the deadlock rate for base transactions is
+  // given by equation (19)."
+  return LazyMasterDeadlockRate(p);
+}
+
+double TwoTierReconciliationRate(const ModelParams& p,
+                                 double non_commutative_fraction) {
+  // §7: "The reconciliation rate for base transactions will be zero if
+  // all the transactions commute." Only the non-commutative fraction of
+  // colliding tentative transactions is exposed to acceptance failure,
+  // so the rate is the mobile collision rate scaled by that fraction
+  // (both colliding parties must be non-commutative for the conflict to
+  // be unresolvable, hence the square).
+  double f = non_commutative_fraction;
+  return MobileReconciliationRate(p) * f * f;
+}
+
+std::vector<ScalingRow> SweepNodes(const ModelParams& base,
+                                   const std::vector<double>& node_counts) {
+  std::vector<ScalingRow> rows;
+  rows.reserve(node_counts.size());
+  for (double n : node_counts) {
+    ModelParams p = base;
+    p.nodes = n;
+    ScalingRow row;
+    row.nodes = n;
+    row.eager_wait_rate = EagerWaitRate(p);
+    row.eager_deadlock_rate = EagerDeadlockRate(p);
+    row.eager_deadlock_scaled_db = EagerDeadlockRateScaledDb(p);
+    row.lazy_group_reconciliation = LazyGroupReconciliationRate(p);
+    row.lazy_master_deadlock = LazyMasterDeadlockRate(p);
+    row.two_tier_base_deadlock = TwoTierBaseDeadlockRate(p);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace tdr::analytic

@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tdr {
+
+Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
+                 Options options, CounterRegistry* counters)
+    : sim_(sim),
+      nodes_(std::move(nodes)),
+      options_(options),
+      counters_(counters),
+      outbox_(nodes_.size()),
+      inbox_(nodes_.size()),
+      on_reconnect_(nodes_.size()),
+      on_disconnect_(nodes_.size()) {}
+
+void Network::Send(NodeId from, NodeId to, Handler fn) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  ++sent_;
+  if (counters_ != nullptr) counters_->Increment("net.sent");
+  if (from != to && !nodes_[from]->connected()) {
+    // Sender offline: hold in its outbox until reconnect.
+    ++queued_;
+    outbox_[from].push_back(Pending{from, to, std::move(fn)});
+    return;
+  }
+  Transmit(from, to, std::move(fn));
+}
+
+void Network::Transmit(NodeId from, NodeId to, Handler fn) {
+  SimTime latency = options_.delay + options_.message_cpu * 2;
+  sim_->ScheduleAfter(latency, [this, from, to, fn = std::move(fn)]() mutable {
+    Arrive(from, to, std::move(fn));
+  });
+}
+
+void Network::Arrive(NodeId from, NodeId to, Handler fn) {
+  if (from != to && !nodes_[to]->connected()) {
+    // Receiver offline: hold in its inbox until reconnect.
+    ++queued_;
+    inbox_[to].push_back(Pending{from, to, std::move(fn)});
+    return;
+  }
+  ++delivered_;
+  if (counters_ != nullptr) counters_->Increment("net.delivered");
+  fn();
+}
+
+void Network::Broadcast(NodeId from,
+                        const std::function<Handler(NodeId)>& make) {
+  for (NodeId to = 0; to < nodes_.size(); ++to) {
+    if (to == from) continue;
+    Send(from, to, make(to));
+  }
+}
+
+void Network::SetConnected(NodeId node, bool connected) {
+  assert(node < nodes_.size());
+  Node* n = nodes_[node];
+  if (n->connected() == connected) return;
+  n->set_connected(connected);
+  if (!connected) {
+    for (const auto& fn : on_disconnect_[node]) fn();
+    return;
+  }
+  // Reconnect: flush the outbox (messages start their journey now) and
+  // the inbox (messages that arrived while offline deliver now).
+  std::deque<Pending> out = std::move(outbox_[node]);
+  outbox_[node].clear();
+  for (Pending& p : out) Transmit(p.from, p.to, std::move(p.fn));
+  std::deque<Pending> in = std::move(inbox_[node]);
+  inbox_[node].clear();
+  for (Pending& p : in) {
+    ++delivered_;
+    if (counters_ != nullptr) counters_->Increment("net.delivered");
+    p.fn();
+  }
+  for (const auto& fn : on_reconnect_[node]) fn();
+}
+
+void Network::OnReconnect(NodeId node, std::function<void()> fn) {
+  on_reconnect_[node].push_back(std::move(fn));
+}
+
+void Network::OnDisconnect(NodeId node, std::function<void()> fn) {
+  on_disconnect_[node].push_back(std::move(fn));
+}
+
+ConnectivitySchedule::ConnectivitySchedule(sim::Simulator* sim,
+                                           Network* network, NodeId node,
+                                           Options options, Rng rng)
+    : sim_(sim),
+      network_(network),
+      node_(node),
+      options_(options),
+      rng_(rng) {}
+
+SimTime ConnectivitySchedule::PhaseLength(SimTime mean) {
+  if (!options_.exponential) return mean;
+  return SimTime::Seconds(rng_.Exponential(mean.seconds()));
+}
+
+void ConnectivitySchedule::Start() {
+  if (running_) return;
+  running_ = true;
+  if (options_.start_disconnected) {
+    network_->SetConnected(node_, false);
+    EnterDisconnected();
+  } else {
+    network_->SetConnected(node_, true);
+    EnterConnected();
+  }
+}
+
+ConnectivitySchedule::~ConnectivitySchedule() { Stop(); }
+
+void ConnectivitySchedule::Stop() {
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+}
+
+void ConnectivitySchedule::EnterConnected() {
+  if (!running_) return;
+  SimTime up = PhaseLength(options_.time_between_disconnects);
+  pending_ = sim_->ScheduleAfter(up, [this]() {
+    pending_ = sim::kInvalidEventId;
+    if (!running_) return;
+    if (options_.disconnected_time <= SimTime::Zero()) {
+      // Degenerate schedule: never actually disconnects.
+      EnterConnected();
+      return;
+    }
+    network_->SetConnected(node_, false);
+    ++cycles_;
+    EnterDisconnected();
+  });
+}
+
+void ConnectivitySchedule::EnterDisconnected() {
+  if (!running_) return;
+  SimTime down = PhaseLength(options_.disconnected_time);
+  pending_ = sim_->ScheduleAfter(down, [this]() {
+    pending_ = sim::kInvalidEventId;
+    if (!running_) return;
+    network_->SetConnected(node_, true);
+    EnterConnected();
+  });
+}
+
+}  // namespace tdr

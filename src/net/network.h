@@ -1,0 +1,156 @@
+#ifndef TDR_NET_NETWORK_H_
+#define TDR_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "txn/node.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace tdr {
+
+/// Simulated point-to-point network between cluster nodes.
+///
+/// The paper's base model *ignores* message propagation delay and
+/// per-message CPU ("Message_Delay ... Message_cpu ... ignored"), so the
+/// default delay is zero — but both knobs exist because the paper
+/// repeatedly notes rates only get worse with real delays, and the
+/// delay ablation bench demonstrates exactly that.
+///
+/// Disconnection semantics (the mobile-node model of §2/§4):
+///  * a message sent while the SENDER is disconnected waits in the
+///    sender's outbox until it reconnects;
+///  * a message arriving while the RECEIVER is disconnected waits in the
+///    receiver's inbox until it reconnects;
+///  * order is preserved per queue.
+class Network {
+ public:
+  /// A delivered message is just a callback run at the destination at
+  /// delivery time. Replication schemes close over whatever state the
+  /// message carries (update records, transaction programs, ...).
+  using Handler = std::function<void()>;
+
+  struct Options {
+    /// One-way propagation delay (paper default: zero).
+    SimTime delay = SimTime::Zero();
+    /// Sender/receiver processing cost per message (paper default: zero;
+    /// charged as additional latency, the model's simplification).
+    SimTime message_cpu = SimTime::Zero();
+  };
+
+  Network(sim::Simulator* sim, std::vector<Node*> nodes, Options options,
+          CounterRegistry* counters);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends a message; `fn` runs at the destination after the configured
+  /// delay once both endpoints have been connected. Self-sends are
+  /// delivered (with delay) without touching connectivity.
+  void Send(NodeId from, NodeId to, Handler fn);
+
+  /// Broadcasts to every node except `from`.
+  void Broadcast(NodeId from, const std::function<Handler(NodeId to)>& make);
+
+  /// Marks the node (dis)connected and flushes queues on reconnect.
+  /// This is the single authority on Node::connected().
+  void SetConnected(NodeId node, bool connected);
+
+  /// Registered callbacks run after a node reconnects and its queued
+  /// traffic has been flushed — replication schemes hook their
+  /// reconnect exchange protocol here.
+  void OnReconnect(NodeId node, std::function<void()> fn);
+
+  /// Callbacks run when a node disconnects.
+  void OnDisconnect(NodeId node, std::function<void()> fn);
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t messages_queued() const { return queued_; }
+  std::size_t PendingAt(NodeId node) const {
+    return outbox_[node].size() + inbox_[node].size();
+  }
+
+ private:
+  struct Pending {
+    NodeId from;
+    NodeId to;
+    Handler fn;
+  };
+
+  void Transmit(NodeId from, NodeId to, Handler fn);
+  void Arrive(NodeId from, NodeId to, Handler fn);
+
+  sim::Simulator* sim_;
+  std::vector<Node*> nodes_;
+  Options options_;
+  CounterRegistry* counters_;
+  std::vector<std::deque<Pending>> outbox_;  // per sender
+  std::vector<std::deque<Pending>> inbox_;   // per receiver
+  std::vector<std::vector<std::function<void()>>> on_reconnect_;
+  std::vector<std::vector<std::function<void()>>> on_disconnect_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t queued_ = 0;
+};
+
+/// Drives the connect/disconnect cycle of one (mobile) node, per the
+/// model's Time_Between_Disconnects / Disconnected_time parameters
+/// (Table 2). "The node accepts and applies transactions for a day.
+/// Then, at night it connects and downloads them" (§4) corresponds to a
+/// long disconnected_time and a short connected window.
+class ConnectivitySchedule {
+ public:
+  struct Options {
+    /// Mean time the node stays connected between disconnects.
+    SimTime time_between_disconnects = SimTime::Seconds(3600);
+    /// Mean time the node stays disconnected.
+    SimTime disconnected_time = SimTime::Seconds(0);
+    /// If true, phase lengths are exponentially distributed with the
+    /// above means; if false they are deterministic.
+    bool exponential = false;
+    /// If true the node starts disconnected (mobile default).
+    bool start_disconnected = false;
+  };
+
+  ConnectivitySchedule(sim::Simulator* sim, Network* network, NodeId node,
+                       Options options, Rng rng);
+
+  /// Stops and cancels the pending phase-change event (it captures
+  /// `this`, so it must not outlive the schedule).
+  ~ConnectivitySchedule();
+
+  ConnectivitySchedule(const ConnectivitySchedule&) = delete;
+  ConnectivitySchedule& operator=(const ConnectivitySchedule&) = delete;
+
+  /// Begins the cycle. Idempotent.
+  void Start();
+
+  /// Stops future phase changes (the node stays in its current state).
+  void Stop();
+
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  SimTime PhaseLength(SimTime mean);
+  void EnterConnected();
+  void EnterDisconnected();
+
+  sim::Simulator* sim_;
+  Network* network_;
+  NodeId node_;
+  Options options_;
+  Rng rng_;
+  bool running_ = false;
+  sim::EventId pending_ = sim::kInvalidEventId;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_NET_NETWORK_H_

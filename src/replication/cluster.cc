@@ -1,0 +1,46 @@
+#include "replication/cluster.h"
+
+namespace tdr {
+
+Cluster::Cluster(Options options)
+    : options_(options), rng_(options.seed, /*stream=*/1) {
+  nodes_.reserve(options_.num_nodes);
+  for (NodeId id = 0; id < options_.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<Node>(
+        id, options_.db_size, &graph_, options_.detect_deadlock_cycles));
+  }
+  net_ = std::make_unique<Network>(&sim_, node_ptrs(), options_.net,
+                                   &counters_);
+  exec_ = std::make_unique<Executor>(&sim_, node_ptrs(), &counters_);
+}
+
+std::vector<Node*> Cluster::node_ptrs() {
+  std::vector<Node*> ptrs;
+  ptrs.reserve(nodes_.size());
+  for (auto& n : nodes_) ptrs.push_back(n.get());
+  return ptrs;
+}
+
+bool Cluster::Converged() const {
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (!nodes_[0]->store().SameValuesAs(nodes_[i]->store())) return false;
+  }
+  return true;
+}
+
+bool Cluster::ConvergedTo(const ObjectStore& reference) const {
+  for (const auto& n : nodes_) {
+    if (!n->store().SameValuesAs(reference)) return false;
+  }
+  return true;
+}
+
+std::uint64_t Cluster::DivergentSlots() const {
+  std::uint64_t divergent = 0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    divergent += nodes_[i]->store().DiffAgainst(nodes_[0]->store()).size();
+  }
+  return divergent;
+}
+
+}  // namespace tdr

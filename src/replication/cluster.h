@@ -1,0 +1,86 @@
+#ifndef TDR_REPLICATION_CLUSTER_H_
+#define TDR_REPLICATION_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "txn/executor.h"
+#include "txn/node.h"
+#include "txn/wait_for_graph.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tdr {
+
+/// A fully-replicated cluster per the §2 model: `num_nodes` nodes, each
+/// holding a replica of all `db_size` objects, wired by a simulated
+/// Network, sharing one Simulator, one wait-for graph, one Executor and
+/// one metrics registry. Replication schemes plug in on top.
+class Cluster {
+ public:
+  struct Options {
+    std::uint32_t num_nodes = 3;
+    std::uint64_t db_size = 10000;
+    SimTime action_time = SimTime::Millis(10);  // Table 2 Action_Time
+    Network::Options net;
+    std::uint64_t seed = 42;
+    /// The model's assumption: instant perfect wait-for-graph deadlock
+    /// detection. Turn off to rely on executor wait timeouts instead
+    /// (production-style detection; see the A4 ablation).
+    bool detect_deadlock_cycles = true;
+  };
+
+  explicit Cluster(Options options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  Executor& executor() { return *exec_; }
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+  WaitForGraph& graph() { return graph_; }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  Node* node(NodeId id) { return nodes_[id].get(); }
+  const Node* node(NodeId id) const { return nodes_[id].get(); }
+  std::vector<Node*> node_ptrs();
+
+  const Options& options() const { return options_; }
+
+  /// Independent RNG stream (deterministic given the cluster seed).
+  Rng ForkRng() { return rng_.Fork(); }
+
+  /// True if all nodes' stores hold identical values — the convergence
+  /// property of §6 ("they will all converge to the same replicated
+  /// state"). Timestamps are ignored; value equality is what matters.
+  bool Converged() const;
+
+  /// True if every node's store matches `reference` by value.
+  bool ConvergedTo(const ObjectStore& reference) const;
+
+  /// Number of (node, object) slots whose value differs from node 0 —
+  /// a measure of replica divergence ("system delusion" when it cannot
+  /// be repaired).
+  std::uint64_t DivergentSlots() const;
+
+ private:
+  Options options_;
+  sim::Simulator sim_;
+  WaitForGraph graph_;
+  Rng rng_;
+  CounterRegistry counters_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Executor> exec_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_CLUSTER_H_

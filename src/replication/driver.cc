@@ -1,0 +1,95 @@
+#include "replication/driver.h"
+
+#include "replication/lazy_group.h"
+#include "util/logging.h"
+
+namespace tdr {
+
+namespace {
+
+ProgramGenerator::Options WithDbSize(ProgramGenerator::Options o,
+                                     std::uint64_t db_size) {
+  o.db_size = db_size;
+  return o;
+}
+
+}  // namespace
+
+std::string WorkloadDriver::Outcome::ToString() const {
+  return StrPrintf(
+      "window=%.0fs submitted=%llu committed=%llu deadlocks=%llu "
+      "waits=%llu reconciliations=%llu unavailable=%llu divergent=%llu",
+      seconds, (unsigned long long)submitted, (unsigned long long)committed,
+      (unsigned long long)deadlocks, (unsigned long long)waits,
+      (unsigned long long)reconciliations, (unsigned long long)unavailable,
+      (unsigned long long)divergent_slots);
+}
+
+WorkloadDriver::WorkloadDriver(Cluster* cluster, ReplicationScheme* scheme,
+                               Options options)
+    : cluster_(cluster),
+      scheme_(scheme),
+      options_(options),
+      generator_(WithDbSize(options.workload, cluster->options().db_size)) {
+}
+
+std::uint64_t WorkloadDriver::CurrentReconciliations() const {
+  auto* lazy_group = dynamic_cast<LazyGroupScheme*>(scheme_);
+  return lazy_group != nullptr
+             ? lazy_group->reconciliations()
+             : cluster_->counters().Get("replica.conflicts");
+}
+
+WorkloadDriver::Baseline WorkloadDriver::Snapshot() const {
+  Baseline b;
+  b.committed = cluster_->executor().committed();
+  b.deadlocks = cluster_->executor().deadlocked();
+  b.waits = cluster_->counters().Get("lock.waits");
+  b.reconciliations = CurrentReconciliations();
+  b.unavailable = cluster_->counters().Get("scheme.unavailable");
+  b.replica_deadlocks = cluster_->counters().Get("replica.deadlocks");
+  b.replica_applied = cluster_->counters().Get("replica.applied");
+  b.wait_timeouts = cluster_->executor().wait_timeouts();
+  return b;
+}
+
+WorkloadDriver::Outcome WorkloadDriver::Run() {
+  Baseline before = Snapshot();
+  Outcome outcome;
+  outcome.seconds = options_.seconds;
+
+  Rng rng = cluster_->ForkRng();
+  std::vector<std::unique_ptr<OpenLoopArrivals>> arrivals;
+  for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
+    OpenLoopArrivals::Options aopts;
+    aopts.tps = options_.tps_per_node;
+    aopts.poisson = options_.poisson_arrivals;
+    auto gen_rng = std::make_shared<Rng>(rng.Fork());
+    arrivals.push_back(std::make_unique<OpenLoopArrivals>(
+        &cluster_->sim(), aopts, rng.Fork(),
+        [this, &outcome, origin, gen_rng]() {
+          ++outcome.submitted;
+          scheme_->Submit(origin, generator_.Next(*gen_rng), nullptr);
+        }));
+    arrivals.back()->Start();
+  }
+  SimTime horizon =
+      cluster_->sim().Now() + SimTime::Seconds(options_.seconds);
+  cluster_->sim().RunUntil(horizon);
+  for (auto& a : arrivals) a->Stop();
+
+  Baseline after = Snapshot();
+  outcome.committed = after.committed - before.committed;
+  outcome.deadlocks = after.deadlocks - before.deadlocks;
+  outcome.waits = after.waits - before.waits;
+  outcome.reconciliations = after.reconciliations - before.reconciliations;
+  outcome.unavailable = after.unavailable - before.unavailable;
+  outcome.replica_deadlocks =
+      after.replica_deadlocks - before.replica_deadlocks;
+  outcome.replica_applied = after.replica_applied - before.replica_applied;
+  outcome.wait_timeouts = after.wait_timeouts - before.wait_timeouts;
+  outcome.divergent_slots = cluster_->DivergentSlots();
+  return outcome;
+}
+
+}  // namespace tdr

@@ -1,0 +1,106 @@
+#include "replication/eager.h"
+
+#include <utility>
+
+namespace tdr {
+
+namespace {
+
+/// Synthesizes an "unavailable" result for a transaction that never ran.
+TxnResult UnavailableResult(NodeId origin, SimTime now) {
+  TxnResult r;
+  r.origin = origin;
+  r.outcome = TxnOutcome::kUnavailable;
+  r.start_time = now;
+  r.end_time = now;
+  return r;
+}
+
+bool AllConnected(Cluster* cluster) {
+  for (NodeId id = 0; id < cluster->size(); ++id) {
+    if (!cluster->node(id)->connected()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EagerGroupScheme::Submit(NodeId origin, const Program& program,
+                              DoneCallback done) {
+  if (!cluster_->node(origin)->connected() ||
+      (options_.require_all_connected && !AllConnected(cluster_))) {
+    cluster_->counters().Increment("scheme.unavailable");
+    if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+    return;
+  }
+  // Compile: each write applies at the origin replica first, then at
+  // every other (connected) replica, sequentially — Figure 1's
+  // three-node eager transaction.
+  std::vector<ExecStep> steps;
+  steps.reserve(program.size() * cluster_->size());
+  for (const Op& op : program.ops()) {
+    if (!op.IsWrite()) {
+      steps.push_back(ExecStep{origin, op});
+      continue;
+    }
+    steps.push_back(ExecStep{origin, op});
+    for (NodeId n = 0; n < cluster_->size(); ++n) {
+      if (n == origin) continue;
+      if (!cluster_->node(n)->connected()) continue;  // quorum variant
+      steps.push_back(
+          ExecStep{n, op, /*charge=*/!options_.parallel_replica_updates});
+    }
+  }
+  Executor::RunOptions opts;
+  opts.action_time = cluster_->options().action_time;
+  opts.record_updates = options_.record_updates;
+  opts.lock_reads = options_.lock_reads;
+  opts.wait_timeout = options_.wait_timeout;
+  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
+                           std::move(done));
+}
+
+void EagerMasterScheme::Submit(NodeId origin, const Program& program,
+                               DoneCallback done) {
+  if (!cluster_->node(origin)->connected() ||
+      (options_.require_all_connected && !AllConnected(cluster_))) {
+    cluster_->counters().Increment("scheme.unavailable");
+    if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+    return;
+  }
+  // Masters must be reachable: "A node wanting to update an object must
+  // be connected to the object owner" (§5; same constraint eagerly).
+  for (const Op& op : program.ops()) {
+    if (op.IsWrite() &&
+        !cluster_->node(ownership_->OwnerOf(op.oid))->connected()) {
+      cluster_->counters().Increment("scheme.unavailable");
+      if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+      return;
+    }
+  }
+  // Compile: writes lock the master copy first ("updates go to this node
+  // first and are then applied to the replicas"), then fan out.
+  std::vector<ExecStep> steps;
+  steps.reserve(program.size() * cluster_->size());
+  for (const Op& op : program.ops()) {
+    NodeId owner = ownership_->OwnerOf(op.oid);
+    if (!op.IsWrite()) {
+      // Reads consult the master copy (the current value by definition).
+      steps.push_back(ExecStep{owner, op});
+      continue;
+    }
+    steps.push_back(ExecStep{owner, op});
+    for (NodeId n = 0; n < cluster_->size(); ++n) {
+      if (n == owner) continue;
+      if (!cluster_->node(n)->connected()) continue;
+      steps.push_back(ExecStep{n, op});
+    }
+  }
+  Executor::RunOptions opts;
+  opts.action_time = cluster_->options().action_time;
+  opts.record_updates = options_.record_updates;
+  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
+                           std::move(done));
+}
+
+}  // namespace tdr

@@ -1,0 +1,102 @@
+#include "replication/lazy_group.h"
+
+#include <utility>
+
+namespace tdr {
+
+LazyGroupScheme::LazyGroupScheme(Cluster* cluster, Options options)
+    : cluster_(cluster),
+      options_(options),
+      applier_(&cluster->sim(), &cluster->executor(), &cluster->counters()) {
+  if (options_.batch_interval > SimTime::Zero()) {
+    for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
+      flusher_series_.push_back(cluster_->sim().RepeatEvery(
+          options_.batch_interval,
+          [this, origin]() { FlushBatches(origin); }));
+    }
+  }
+}
+
+LazyGroupScheme::~LazyGroupScheme() {
+  for (sim::EventId series : flusher_series_) {
+    cluster_->sim().Cancel(series);
+  }
+}
+
+void LazyGroupScheme::Submit(NodeId origin, const Program& program,
+                             DoneCallback done) {
+  // The root transaction is purely local — that is the whole point of
+  // lazy replication ("One replica is updated by the originating
+  // transaction", Figure 1). A disconnected mobile node can still run it.
+  Executor::RunOptions opts;
+  opts.action_time = cluster_->options().action_time;
+  opts.record_updates = true;
+  cluster_->executor().Run(
+      origin, LocalPlan(origin, program), std::move(opts),
+      [this, done = std::move(done)](const TxnResult& result) {
+        if (result.outcome == TxnOutcome::kCommitted) {
+          Propagate(result);
+        }
+        if (done) done(result);
+      });
+}
+
+void LazyGroupScheme::Propagate(const TxnResult& result) {
+  if (result.updates.empty()) return;
+  if (options_.batch_interval > SimTime::Zero()) {
+    // Batched shipping: park the records in the node's out-log; the
+    // periodic flusher drains them.
+    Node* origin_node = cluster_->node(result.origin);
+    for (const UpdateRecord& rec : result.updates) {
+      origin_node->out_log().Append(rec);
+    }
+    return;
+  }
+  Ship(result.origin, result.updates);
+}
+
+void LazyGroupScheme::FlushBatches(NodeId origin) {
+  Node* node = cluster_->node(origin);
+  if (node->out_log().empty()) return;
+  cluster_->counters().Increment("lazy_group.batches");
+  Ship(origin, node->out_log().DrainAll());
+}
+
+void LazyGroupScheme::FlushAllBatches() {
+  for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
+    FlushBatches(origin);
+  }
+}
+
+void LazyGroupScheme::Ship(NodeId origin,
+                           std::vector<UpdateRecord> records) {
+  // One replica-update transaction per remote node (Figure 1's "three
+  // transactions"). If the origin is disconnected, Network queues these
+  // in its outbox until reconnect — the 24-hour-propagation-delay effect
+  // of §4's mobile scenario.
+  for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
+    if (dest == origin) continue;
+    Node* dest_node = cluster_->node(dest);
+    std::vector<UpdateRecord> copy = records;
+    cluster_->net().Send(
+        origin, dest,
+        [this, dest_node, records = std::move(copy)]() mutable {
+          ReplicaApplier::Options aopts;
+          aopts.action_time = cluster_->options().action_time;
+          aopts.mode = ReplicaApplier::Mode::kTimestampMatch;
+          aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
+          applier_.Apply(dest_node, std::move(records), aopts,
+                         [this](const ReplicaApplier::Report& report) {
+                           reconciliations_ += report.conflicts;
+                           replica_applied_ += report.applied;
+                           if (report.conflicts > 0) {
+                             cluster_->counters().Increment(
+                                 "lazy_group.reconciliations",
+                                 report.conflicts);
+                           }
+                         });
+        });
+  }
+}
+
+}  // namespace tdr

@@ -1,0 +1,98 @@
+#include "replication/lazy_master.h"
+
+#include <utility>
+
+namespace tdr {
+
+LazyMasterScheme::LazyMasterScheme(Cluster* cluster,
+                                   const Ownership* ownership,
+                                   Options options)
+    : cluster_(cluster),
+      ownership_(ownership),
+      options_(options),
+      applier_(&cluster->sim(), &cluster->executor(), &cluster->counters()) {
+}
+
+void LazyMasterScheme::Submit(NodeId origin, const Program& program,
+                              DoneCallback done) {
+  SubmitWithPrecommit(origin, program, nullptr, std::move(done));
+}
+
+void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
+                                           const Program& program,
+                                           Executor::PrecommitHook precommit,
+                                           DoneCallback done) {
+  // The originating node and every touched object's master must be
+  // reachable; otherwise the RPC to the owner cannot happen.
+  bool reachable = cluster_->node(origin)->connected();
+  if (reachable) {
+    for (const Op& op : program.ops()) {
+      if (!cluster_->node(ownership_->OwnerOf(op.oid))->connected()) {
+        reachable = false;
+        break;
+      }
+    }
+  }
+  if (!reachable) {
+    cluster_->counters().Increment("scheme.unavailable");
+    TxnResult r;
+    r.origin = origin;
+    r.outcome = TxnOutcome::kUnavailable;
+    r.start_time = cluster_->sim().Now();
+    r.end_time = r.start_time;
+    if (done) done(r);
+    return;
+  }
+  // Compile: every op runs at its object's master. This is the "send an
+  // RPC to the node owning the object" model; the message costs are the
+  // ones the paper ignores.
+  std::vector<ExecStep> steps;
+  steps.reserve(program.size());
+  for (const Op& op : program.ops()) {
+    steps.push_back(ExecStep{ownership_->OwnerOf(op.oid), op});
+  }
+  Executor::RunOptions opts;
+  opts.action_time = cluster_->options().action_time;
+  opts.record_updates = true;
+  opts.precommit = std::move(precommit);
+  cluster_->executor().Run(
+      origin, std::move(steps), std::move(opts),
+      [this, done = std::move(done)](const TxnResult& result) {
+        if (result.outcome == TxnOutcome::kCommitted) {
+          Propagate(result);
+        }
+        if (done) done(result);
+      });
+}
+
+void LazyMasterScheme::Propagate(const TxnResult& result) {
+  if (result.updates.empty()) return;
+  // Group records by the master that installed them; each master then
+  // broadcasts one slave-refresh transaction per other node.
+  std::map<NodeId, std::vector<UpdateRecord>> by_master;
+  for (const UpdateRecord& rec : result.updates) {
+    by_master[rec.origin].push_back(rec);
+  }
+  for (auto& [master, records] : by_master) {
+    for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
+      if (dest == master) continue;
+      Node* dest_node = cluster_->node(dest);
+      std::vector<UpdateRecord> copy = records;
+      cluster_->net().Send(
+          master, dest,
+          [this, dest_node, copy = std::move(copy)]() mutable {
+            ReplicaApplier::Options aopts;
+            aopts.action_time = cluster_->options().action_time;
+            aopts.mode = ReplicaApplier::Mode::kNewerWins;
+            aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
+            applier_.Apply(dest_node, std::move(copy), aopts,
+                           [this](const ReplicaApplier::Report& report) {
+                             slave_applied_ += report.applied;
+                             stale_ignored_ += report.stale;
+                           });
+          });
+    }
+  }
+}
+
+}  // namespace tdr

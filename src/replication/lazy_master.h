@@ -1,0 +1,75 @@
+#ifndef TDR_REPLICATION_LAZY_MASTER_H_
+#define TDR_REPLICATION_LAZY_MASTER_H_
+
+#include <map>
+#include <vector>
+
+#include "replication/cluster.h"
+#include "replication/ownership.h"
+#include "replication/replica_applier.h"
+#include "replication/scheme.h"
+
+namespace tdr {
+
+/// Lazy MASTER replication (§5): "Updates are first done by the owner
+/// and then propagated to other replicas." The master transaction locks
+/// and updates only master copies (at the owners); after commit, each
+/// owner broadcasts timestamped slave updates, and slaves apply the
+/// newer-wins test, ignoring stale updates so "all the replicas
+/// converge to the same final state".
+///
+/// There are no reconciliations — conflicts resolve as waits/deadlocks
+/// at the masters, at the Eq. (19) rate. The scheme is unusable by
+/// disconnected nodes: Submit returns kUnavailable if any written
+/// object's master is unreachable ("A node wanting to update an object
+/// must be connected to the object owner").
+class LazyMasterScheme : public ReplicationScheme {
+ public:
+  struct Options {
+    bool retry_replica_deadlocks = true;
+  };
+
+  LazyMasterScheme(Cluster* cluster, const Ownership* ownership)
+      : LazyMasterScheme(cluster, ownership, Options()) {}
+  LazyMasterScheme(Cluster* cluster, const Ownership* ownership,
+                   Options options);
+
+  std::string_view name() const override { return "lazy-master"; }
+  bool eager() const override { return false; }
+  bool group_ownership() const override { return false; }
+  std::uint64_t TransactionsPerUserUpdate(
+      std::uint32_t nodes) const override {
+    return nodes;  // master txn + (N-1) slave refresh txns (Table 1)
+  }
+
+  void Submit(NodeId origin, const Program& program,
+              DoneCallback done) override;
+
+  /// Submit with a precommit hook — the two-tier core runs base
+  /// transactions through this, wiring the acceptance criterion in as
+  /// the hook ("If the base transaction fails its acceptance criteria,
+  /// the base transaction is aborted", §7).
+  void SubmitWithPrecommit(NodeId origin, const Program& program,
+                           Executor::PrecommitHook precommit,
+                           DoneCallback done);
+
+  /// Traces slave-refresh application (forwarded to the applier).
+  void set_trace_sink(TraceSink* sink) { applier_.set_trace_sink(sink); }
+
+  std::uint64_t slave_updates_applied() const { return slave_applied_; }
+  std::uint64_t stale_updates_ignored() const { return stale_ignored_; }
+
+ private:
+  void Propagate(const TxnResult& result);
+
+  Cluster* cluster_;
+  const Ownership* ownership_;
+  Options options_;
+  ReplicaApplier applier_;
+  std::uint64_t slave_applied_ = 0;
+  std::uint64_t stale_ignored_ = 0;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_LAZY_MASTER_H_

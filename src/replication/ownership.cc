@@ -1,0 +1,37 @@
+#include "replication/ownership.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdr {
+
+Ownership Ownership::RoundRobin(std::uint64_t db_size,
+                                std::vector<NodeId> owners) {
+  assert(!owners.empty());
+  std::vector<NodeId> map(db_size);
+  for (std::uint64_t oid = 0; oid < db_size; ++oid) {
+    map[oid] = owners[oid % owners.size()];
+  }
+  return Ownership(std::move(map));
+}
+
+Ownership Ownership::SingleMaster(std::uint64_t db_size, NodeId owner) {
+  return Ownership(std::vector<NodeId>(db_size, owner));
+}
+
+std::vector<ObjectId> Ownership::ObjectsOwnedBy(NodeId node) const {
+  std::vector<ObjectId> out;
+  for (std::uint64_t oid = 0; oid < owner_.size(); ++oid) {
+    if (owner_[oid] == node) out.push_back(oid);
+  }
+  return out;
+}
+
+std::size_t Ownership::DistinctOwners() const {
+  std::vector<NodeId> copy = owner_;
+  std::sort(copy.begin(), copy.end());
+  copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+  return copy.size();
+}
+
+}  // namespace tdr

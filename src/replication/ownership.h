@@ -1,0 +1,50 @@
+#ifndef TDR_REPLICATION_OWNERSHIP_H_
+#define TDR_REPLICATION_OWNERSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace tdr {
+
+/// Maps each object to its master (owner) node — "Each object has a
+/// master node. Only the master can update the primary copy of the
+/// object" (§2, Figure 2). Group-ownership schemes simply never consult
+/// this map.
+///
+/// Two-tier refinement (§7): "Most items are mastered at base nodes...
+/// A mobile node may be the master of some data items", so arbitrary
+/// per-object assignment is supported on top of the bulk constructors.
+class Ownership {
+ public:
+  /// Objects dealt round-robin across `owners` (the usual balanced
+  /// lazy-master configuration).
+  static Ownership RoundRobin(std::uint64_t db_size,
+                              std::vector<NodeId> owners);
+
+  /// Every object owned by one node (the Data Cycle architecture the
+  /// paper compares against in §7).
+  static Ownership SingleMaster(std::uint64_t db_size, NodeId owner);
+
+  NodeId OwnerOf(ObjectId oid) const { return owner_[oid]; }
+
+  void SetOwner(ObjectId oid, NodeId node) { owner_[oid] = node; }
+
+  std::uint64_t db_size() const { return owner_.size(); }
+
+  /// Objects owned by `node`, ascending.
+  std::vector<ObjectId> ObjectsOwnedBy(NodeId node) const;
+
+  /// Number of distinct owner nodes.
+  std::size_t DistinctOwners() const;
+
+ private:
+  explicit Ownership(std::vector<NodeId> owner) : owner_(std::move(owner)) {}
+
+  std::vector<NodeId> owner_;  // indexed by ObjectId
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_OWNERSHIP_H_

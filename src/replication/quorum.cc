@@ -1,0 +1,145 @@
+#include "replication/quorum.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace tdr {
+
+QuorumEagerScheme::QuorumEagerScheme(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(std::move(options)) {
+  votes_ = options_.votes;
+  if (votes_.empty()) {
+    votes_.assign(cluster_->size(), 1);
+  }
+  assert(votes_.size() == cluster_->size());
+  for (std::uint32_t v : votes_) total_votes_ += v;
+  write_quorum_ = options_.write_quorum != 0 ? options_.write_quorum
+                                             : total_votes_ / 2 + 1;
+  read_quorum_ = options_.read_quorum != 0
+                     ? options_.read_quorum
+                     : total_votes_ - write_quorum_ + 1;
+  // Soundness: any read quorum must intersect any write quorum, and two
+  // write quorums must intersect (serializing writers of an object).
+  assert(read_quorum_ + write_quorum_ > total_votes_);
+  assert(2 * write_quorum_ > total_votes_);
+  // Catch-up wiring: a rejoining replica refreshes from the quorum.
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    cluster_->net().OnReconnect(id, [this, id]() { CatchUp(id); });
+  }
+}
+
+std::uint32_t QuorumEagerScheme::ConnectedVotes() const {
+  std::uint32_t votes = 0;
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (cluster_->node(id)->connected()) votes += votes_[id];
+  }
+  return votes;
+}
+
+void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
+                               DoneCallback done) {
+  if (!cluster_->node(origin)->connected() || !WriteQuorumAvailable()) {
+    cluster_->counters().Increment("scheme.unavailable");
+    TxnResult r;
+    r.origin = origin;
+    r.outcome = TxnOutcome::kUnavailable;
+    r.start_time = cluster_->sim().Now();
+    r.end_time = r.start_time;
+    if (done) done(r);
+    return;
+  }
+  // Write set: the origin plus connected replicas until the quorum is
+  // met, kept in ascending id order. The global order serializes all
+  // quorum writers of an object through the same first member, so
+  // same-object quorum writes cannot deadlock with each other.
+  std::vector<NodeId> members;
+  std::uint32_t votes = votes_[origin];
+  members.push_back(origin);
+  for (NodeId id = 0; id < cluster_->size() && votes < write_quorum_;
+       ++id) {
+    if (id == origin || !cluster_->node(id)->connected()) continue;
+    members.push_back(id);
+    votes += votes_[id];
+  }
+  assert(votes >= write_quorum_);
+  std::sort(members.begin(), members.end());
+  // Version-correct quorum writing (Gifford): lock the whole write set
+  // (kLockOnly steps), then a kQuorumApply step reads the newest locked
+  // version, applies the op once, and installs the same value at every
+  // member.
+  std::vector<ExecStep> steps;
+  steps.reserve(program.size() * members.size());
+  int op_index = 0;
+  for (const Op& op : program.ops()) {
+    if (!op.IsWrite()) {
+      steps.push_back(ExecStep{origin, op});
+      continue;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      ExecStep step;
+      step.node = members[i];
+      step.op = op;
+      step.op_index = op_index;
+      step.kind = i + 1 < members.size() ? StepKind::kLockOnly
+                                         : StepKind::kQuorumApply;
+      steps.push_back(step);
+    }
+    ++op_index;
+  }
+  Executor::RunOptions opts;
+  opts.action_time = cluster_->options().action_time;
+  opts.record_updates = options_.record_updates;
+  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
+                           std::move(done));
+}
+
+Result<StoredObject> QuorumEagerScheme::ReadLatest(ObjectId oid) const {
+  std::uint32_t votes = 0;
+  const StoredObject* newest = nullptr;
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (!cluster_->node(id)->connected()) continue;
+    const ObjectStore& store = cluster_->node(id)->store();
+    if (!store.Contains(oid)) {
+      return Status::NotFound("ReadLatest: object out of range");
+    }
+    const StoredObject& obj = store.GetUnchecked(oid);
+    if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
+    votes += votes_[id];
+    if (votes >= read_quorum_) break;
+  }
+  if (votes < read_quorum_ || newest == nullptr) {
+    return Status::Unavailable(
+        StrPrintf("read quorum unavailable: %u of %u votes", votes,
+                  read_quorum_));
+  }
+  return *newest;
+}
+
+void QuorumEagerScheme::CatchUp(NodeId rejoined) {
+  // "The quorum sends the new node all replica updates since the node
+  // was disconnected": refresh every object whose newest connected
+  // version is later than the rejoined node's copy.
+  Node* node = cluster_->node(rejoined);
+  for (ObjectId oid = 0; oid < node->store().size(); ++oid) {
+    const StoredObject* newest = nullptr;
+    for (NodeId id = 0; id < cluster_->size(); ++id) {
+      if (id == rejoined || !cluster_->node(id)->connected()) continue;
+      const StoredObject& obj = cluster_->node(id)->store().GetUnchecked(oid);
+      if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
+    }
+    if (newest == nullptr) continue;  // nobody else is up
+    bool applied = false;
+    Status s = node->store().ApplyIfNewer(oid, newest->value, newest->ts,
+                                          &applied);
+    assert(s.ok());
+    (void)s;
+    if (applied) {
+      ++catch_up_objects_;
+      cluster_->counters().Increment("quorum.catch_up_objects");
+    }
+  }
+}
+
+}  // namespace tdr

@@ -1,0 +1,73 @@
+#ifndef TDR_REPLICATION_REPAIR_H_
+#define TDR_REPLICATION_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replication/cluster.h"
+#include "replication/convergence.h"
+
+namespace tdr {
+
+/// Repair plan for a system-delusion'd cluster.
+///
+/// Lazy-group replication leaves replicas divergent after timestamp
+/// conflicts: "There is usually no automatic way to reverse the
+/// committed replica updates, rather a program or person must reconcile
+/// conflicting transactions" (§1). This is that program: it inventories
+/// every divergent object across the cluster, picks a winning version
+/// per object with a reconciliation rule (the §6 Oracle-style
+/// catalogue), and installs the winner everywhere with a fresh
+/// timestamp so subsequent lazy updates apply cleanly again.
+///
+/// The repair is exactly what it claims to be — a policy decision, not
+/// a recovery of lost serializability: updates that lost their race are
+/// still lost (unless an additive/list-merge rule folds them in). The
+/// bench and tests quantify that.
+class DivergenceRepair {
+ public:
+  struct ObjectReport {
+    ObjectId oid = 0;
+    std::uint32_t distinct_versions = 0;
+    Value winner;
+    std::string winner_source;  // "node <i>" of the winning version
+  };
+
+  struct Report {
+    std::uint64_t objects_diverged = 0;
+    std::uint64_t replicas_patched = 0;  // (node, object) installs
+    std::vector<ObjectReport> objects;   // per divergent object
+
+    bool clean() const { return objects_diverged == 0; }
+  };
+
+  explicit DivergenceRepair(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Lists the object ids whose value differs across any pair of
+  /// (connected or not) replicas.
+  std::vector<ObjectId> FindDivergentObjects() const;
+
+  /// Dry run: what would be repaired and which version would win under
+  /// `rule`. Does not modify any store.
+  Report Plan(const ReconciliationRule& rule) const;
+
+  /// Executes the plan: installs each winner at every replica with a
+  /// fresh timestamp issued past all existing ones (so every replica
+  /// ends with the same value AND timestamp, and in-flight stale
+  /// updates will lose the §5 newer-wins test afterwards). Returns what
+  /// was done.
+  Report Execute(const ReconciliationRule& rule);
+
+ private:
+  /// Picks the winning version of `oid` under `rule` by a pairwise
+  /// tournament across replicas (mirrors repeated pairwise exchange).
+  StoredObject PickWinner(ObjectId oid, const ReconciliationRule& rule,
+                          NodeId* source) const;
+
+  Cluster* cluster_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_REPAIR_H_

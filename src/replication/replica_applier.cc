@@ -1,0 +1,156 @@
+#include "replication/replica_applier.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tdr {
+
+void ReplicaApplier::Bump(const char* counter, std::uint64_t delta) {
+  if (counters_ != nullptr) counters_->Increment(counter, delta);
+}
+
+void ReplicaApplier::Emit(TraceEventType type, const Job& job,
+                          ObjectId oid, std::string detail) {
+  if (trace_ == nullptr) return;
+  TraceEvent event;
+  event.time = sim_->Now();
+  event.type = type;
+  event.txn = job.txn;
+  event.node = job.node->id();
+  event.oid = oid;
+  event.detail = std::move(detail);
+  trace_->OnEvent(event);
+}
+
+void ReplicaApplier::Apply(Node* node, std::vector<UpdateRecord> records,
+                           Options options, Done done) {
+  auto job = std::make_shared<Job>();
+  job->node = node;
+  job->records = std::move(records);
+  job->options = options;
+  job->done = std::move(done);
+  job->txn = executor_->AllocateTxnId();
+  ++active_;
+  if (job->records.empty()) {
+    FinishJob(std::move(job));
+    return;
+  }
+  Emit(TraceEventType::kReplicaTxnStart, *job, job->records[0].oid,
+       StrPrintf("%zu updates from txn %llu", job->records.size(),
+                 (unsigned long long)job->records[0].txn));
+  AcquireNext(std::move(job));
+}
+
+void ReplicaApplier::AcquireNext(std::shared_ptr<Job> job) {
+  if (job->idx >= job->records.size()) {
+    // All updates installed: release locks and report.
+    job->node->locks().ReleaseAll(job->txn);
+    FinishJob(std::move(job));
+    return;
+  }
+  const UpdateRecord& rec = job->records[job->idx];
+  Job* raw = job.get();
+  LockManager::AcquireOutcome outcome = raw->node->locks().Acquire(
+      raw->txn, rec.oid, [this, job]() mutable {
+        // Lock granted after a wait; pay the action time then apply.
+        sim_->ScheduleAfter(job->options.action_time,
+                            [this, job]() mutable {
+                              ApplyCurrent(std::move(job));
+                            });
+      });
+  switch (outcome) {
+    case LockManager::AcquireOutcome::kGranted:
+      sim_->ScheduleAfter(job->options.action_time, [this, job]() mutable {
+        ApplyCurrent(std::move(job));
+      });
+      return;
+    case LockManager::AcquireOutcome::kQueued:
+      Bump("replica.waits");
+      return;  // grant callback continues the job
+    case LockManager::AcquireOutcome::kDeadlock:
+      HandleDeadlock(std::move(job));
+      return;
+  }
+}
+
+void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
+  const UpdateRecord& rec = job->records[job->idx];
+  Node* node = job->node;
+  node->clock().Observe(rec.new_ts);
+  if (job->options.mode == Mode::kTimestampMatch) {
+    Status s = node->store().ApplyIfTimestampMatches(rec.oid, rec.new_value,
+                                                     rec.old_ts, rec.new_ts);
+    if (s.ok()) {
+      ++job->report.applied;
+      Bump("replica.applied");
+      Emit(TraceEventType::kReplicaApply, *job, rec.oid,
+           StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+    } else if (s.IsConflict()) {
+      // §4: the node rejects the incoming transaction and submits it for
+      // reconciliation. The local value stays; divergence is now visible
+      // until someone reconciles.
+      ++job->report.conflicts;
+      Bump("replica.conflicts");
+      Emit(TraceEventType::kReplicaConflict, *job, rec.oid, s.message());
+    } else {
+      assert(false && "unexpected replica apply failure");
+    }
+  } else {
+    bool applied = false;
+    Status s =
+        node->store().ApplyIfNewer(rec.oid, rec.new_value, rec.new_ts,
+                                   &applied);
+    assert(s.ok());
+    (void)s;
+    if (applied) {
+      ++job->report.applied;
+      Bump("replica.applied");
+      Emit(TraceEventType::kReplicaApply, *job, rec.oid,
+           StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+    } else {
+      ++job->report.stale;
+      Bump("replica.stale");
+      Emit(TraceEventType::kReplicaStale, *job, rec.oid);
+    }
+  }
+  ++job->idx;
+  AcquireNext(std::move(job));
+}
+
+void ReplicaApplier::HandleDeadlock(std::shared_ptr<Job> job) {
+  Bump("replica.deadlocks");
+  job->node->locks().ReleaseAll(job->txn);
+  ++job->report.deadlock_retries;
+  if (!job->options.retry_on_deadlock ||
+      job->report.deadlock_retries > job->options.max_retries) {
+    job->report.gave_up = true;
+    Bump("replica.gave_up");
+    FinishJob(std::move(job));
+    return;
+  }
+  // "If a base transaction deadlocks, it is resubmitted and reprocessed
+  // until it succeeds" (§7) — same treatment for replica updates. The
+  // retry resumes at the blocked record: earlier records were installed
+  // before their locks were released, and re-running them would
+  // double-count conflicts.
+  job->txn = executor_->AllocateTxnId();
+  sim_->ScheduleAfter(job->options.retry_backoff, [this, job]() mutable {
+    AcquireNext(std::move(job));
+  });
+}
+
+void ReplicaApplier::FinishJob(std::shared_ptr<Job> job) {
+  --active_;
+  if (!job->records.empty()) {
+    Emit(TraceEventType::kReplicaTxnDone, *job, job->records[0].oid,
+         StrPrintf("applied=%llu stale=%llu conflicts=%llu",
+                   (unsigned long long)job->report.applied,
+                   (unsigned long long)job->report.stale,
+                   (unsigned long long)job->report.conflicts));
+  }
+  if (job->done) job->done(job->report);
+}
+
+}  // namespace tdr

@@ -1,0 +1,45 @@
+#include "replication/retry.h"
+
+#include <utility>
+
+namespace tdr {
+
+void RetryingSubmitter::Submit(NodeId origin, const Program& program,
+                               ReplicationScheme::DoneCallback done) {
+  Attempt(origin, program, std::move(done), 0);
+}
+
+void RetryingSubmitter::Attempt(NodeId origin, Program program,
+                                ReplicationScheme::DoneCallback done,
+                                int attempt) {
+  scheme_->Submit(
+      origin, program,
+      [this, origin, program, done = std::move(done),
+       attempt](const TxnResult& result) mutable {
+        if (result.outcome != TxnOutcome::kDeadlock ||
+            attempt >= options_.max_retries) {
+          if (result.outcome == TxnOutcome::kDeadlock) {
+            ++gave_up_;
+            cluster_->counters().Increment("retry.gave_up");
+          }
+          if (done) done(result);
+          return;
+        }
+        ++retries_;
+        cluster_->counters().Increment("retry.resubmitted");
+        SimTime backoff = options_.backoff;
+        if (options_.exponential_backoff) {
+          std::int64_t factor = 1;
+          for (int i = 0; i < attempt && factor < 1000; ++i) factor *= 2;
+          backoff = backoff * factor;
+        }
+        cluster_->sim().ScheduleAfter(
+            backoff, [this, origin, program = std::move(program),
+                      done = std::move(done), attempt]() mutable {
+              Attempt(origin, std::move(program), std::move(done),
+                      attempt + 1);
+            });
+      });
+}
+
+}  // namespace tdr

@@ -1,0 +1,62 @@
+#ifndef TDR_REPLICATION_RETRY_H_
+#define TDR_REPLICATION_RETRY_H_
+
+#include <cstdint>
+
+#include "replication/cluster.h"
+#include "replication/scheme.h"
+
+namespace tdr {
+
+/// Deadlock-retry wrapper around any ReplicationScheme: the victim is
+/// resubmitted after a backoff, up to a cap. The paper uses exactly
+/// this policy for replica-update and two-tier base transactions ("it
+/// is resubmitted and reprocessed until it succeeds", §7); user-facing
+/// transactions in production systems retry the same way.
+///
+/// Only kDeadlock outcomes retry. kRejected and kUnavailable pass
+/// through (they are decisions, not collisions), and so does success.
+/// The final callback fires exactly once with the last attempt's result
+/// (whose `waits`/timings describe that attempt only).
+///
+/// LIFETIME: pending backoff events capture `this`; the submitter must
+/// outlive the simulation of any retries it started (keep it alongside
+/// the Cluster, as the benches and examples do).
+class RetryingSubmitter {
+ public:
+  struct Options {
+    int max_retries = 100;
+    SimTime backoff = SimTime::Millis(10);
+    /// Double the backoff each attempt (capped at 1000x base) — avoids
+    /// the livelock of two retriers recolliding in lockstep.
+    bool exponential_backoff = true;
+  };
+
+  RetryingSubmitter(Cluster* cluster, ReplicationScheme* scheme,
+                    Options options)
+      : cluster_(cluster), scheme_(scheme), options_(options) {}
+
+  RetryingSubmitter(const RetryingSubmitter&) = delete;
+  RetryingSubmitter& operator=(const RetryingSubmitter&) = delete;
+
+  /// Submits with retry-on-deadlock. `done` may be null.
+  void Submit(NodeId origin, const Program& program,
+              ReplicationScheme::DoneCallback done);
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  void Attempt(NodeId origin, Program program,
+               ReplicationScheme::DoneCallback done, int attempt);
+
+  Cluster* cluster_;
+  ReplicationScheme* scheme_;
+  Options options_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t gave_up_ = 0;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_RETRY_H_

@@ -1,0 +1,118 @@
+#ifndef TDR_SIM_SIMULATOR_H_
+#define TDR_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace tdr::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never
+/// reused within one Simulator.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Deterministic discrete-event simulator.
+///
+/// Events are (time, sequence, callback) triples executed in strictly
+/// nondecreasing time order; ties break by scheduling order (sequence),
+/// which makes runs reproducible across platforms. All of the replication
+/// machinery in this library — transaction actions, message deliveries,
+/// disconnect/reconnect cycles — runs as events on one Simulator.
+///
+/// The simulator is single-threaded by design: the paper's model counts
+/// logical conflicts, and a deterministic single-threaded event loop
+/// reproduces those exactly while staying debuggable.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at zero.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when`. Scheduling in the
+  /// past is an error and the event is clamped to Now() (and counted in
+  /// `clamped_schedules()` so tests can assert it never happens).
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  /// Schedules `fn` to run `delay` after Now(). Negative delays clamp.
+  EventId ScheduleAfter(SimTime delay, Callback fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had
+  /// not yet fired.
+  bool Cancel(EventId id);
+
+  /// Schedules `fn` every `interval`, starting at Now() + interval, until
+  /// the returned id is cancelled. `fn` runs before the next occurrence
+  /// is scheduled, so it may Cancel the series from inside itself.
+  EventId RepeatEvery(SimTime interval, Callback fn);
+
+  /// Runs events until the queue is empty or `horizon` is passed. Events
+  /// scheduled exactly at the horizon DO run. Returns the number of
+  /// events executed.
+  std::uint64_t RunUntil(SimTime horizon);
+
+  /// Runs until the queue is empty. A runaway self-rescheduling workload
+  /// would never terminate, so `max_events` (default ~4e9) bounds it.
+  std::uint64_t Run(std::uint64_t max_events = (1ULL << 32));
+
+  /// Executes exactly one event if any is pending. Returns true if an
+  /// event ran.
+  bool Step();
+
+  /// True if no events are pending (cancelled events are ignored).
+  bool Idle() const { return pending_ids_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t PendingEvents() const { return pending_ids_.size(); }
+
+  std::uint64_t executed_events() const { return executed_events_; }
+  std::uint64_t clamped_schedules() const { return clamped_schedules_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;   // tie breaker and identity
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;
+    }
+  };
+
+  /// Pops the next non-cancelled event, or returns false.
+  bool PopNext(Event* out);
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;  // 0 is kInvalidEventId
+  /// Schedules the next occurrence of a repeat series.
+  void ScheduleTick(EventId series, SimTime interval);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Ids currently in queue_ and not cancelled.
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+  // Live repeat series: id -> callback. Owned here (not by the queued
+  // events) so cancellation frees the callback and no reference cycles
+  // form.
+  std::unordered_map<EventId, Callback> repeating_;
+  std::uint64_t executed_events_ = 0;
+  std::uint64_t clamped_schedules_ = 0;
+};
+
+}  // namespace tdr::sim
+
+#endif  // TDR_SIM_SIMULATOR_H_

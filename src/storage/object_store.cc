@@ -1,0 +1,130 @@
+#include "storage/object_store.h"
+
+#include "util/logging.h"
+
+namespace tdr {
+
+ObjectStore::ObjectStore(std::uint64_t db_size) : objects_(db_size) {}
+
+Result<std::reference_wrapper<const StoredObject>> ObjectStore::Get(
+    ObjectId oid) const {
+  if (!Contains(oid)) {
+    return Status::NotFound(StrPrintf("object %llu out of range (db=%zu)",
+                                      (unsigned long long)oid,
+                                      objects_.size()));
+  }
+  return std::cref(objects_[oid]);
+}
+
+Status ObjectStore::Put(ObjectId oid, Value value, Timestamp ts) {
+  if (!Contains(oid)) {
+    return Status::NotFound("Put: object out of range");
+  }
+  StoredObject& obj = objects_[oid];
+  obj.value = std::move(value);
+  obj.ts = ts;
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyIfTimestampMatches(ObjectId oid, const Value& value,
+                                            Timestamp expected_old_ts,
+                                            Timestamp new_ts) {
+  if (!Contains(oid)) {
+    return Status::NotFound("ApplyIfTimestampMatches: object out of range");
+  }
+  StoredObject& obj = objects_[oid];
+  if (obj.ts != expected_old_ts) {
+    // "If the current timestamp of the local replica does not match the
+    // old timestamp seen by the root transaction, then the update may be
+    // dangerous. ... the node rejects the incoming transaction and
+    // submits it for reconciliation." (§4)
+    return Status::Conflict(StrPrintf(
+        "object %llu: local ts %s != update's old ts %s",
+        (unsigned long long)oid, obj.ts.ToString().c_str(),
+        expected_old_ts.ToString().c_str()));
+  }
+  obj.value = value;
+  obj.ts = new_ts;
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyIfNewer(ObjectId oid, const Value& value,
+                                 Timestamp new_ts, bool* applied) {
+  if (!Contains(oid)) {
+    return Status::NotFound("ApplyIfNewer: object out of range");
+  }
+  StoredObject& obj = objects_[oid];
+  if (new_ts > obj.ts) {
+    obj.value = value;
+    obj.ts = new_ts;
+    if (applied != nullptr) *applied = true;
+  } else {
+    // "If the record timestamp is newer than a replica update timestamp,
+    // the update is stale and can be ignored." (§5)
+    if (applied != nullptr) *applied = false;
+  }
+  return Status::OK();
+}
+
+bool ObjectStore::SameStateAs(const ObjectStore& other) const {
+  if (objects_.size() != other.objects_.size()) return false;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].value != other.objects_[i].value) return false;
+    if (objects_[i].ts != other.objects_[i].ts) return false;
+  }
+  return true;
+}
+
+bool ObjectStore::SameValuesAs(const ObjectStore& other) const {
+  if (objects_.size() != other.objects_.size()) return false;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].value != other.objects_[i].value) return false;
+  }
+  return true;
+}
+
+std::uint64_t ObjectStore::Digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (const StoredObject& obj : objects_) {
+    if (obj.value.is_scalar()) {
+      mix(0x5ca1a6);
+      mix(static_cast<std::uint64_t>(obj.value.AsScalar()));
+    } else {
+      mix(0x115717);
+      for (std::int64_t item : obj.value.AsList()) {
+        mix(static_cast<std::uint64_t>(item));
+      }
+    }
+    mix(obj.ts.counter);
+    mix(obj.ts.node);
+  }
+  return h;
+}
+
+Status ObjectStore::CloneFrom(const ObjectStore& other) {
+  if (objects_.size() != other.objects_.size()) {
+    return Status::InvalidArgument("CloneFrom: size mismatch");
+  }
+  objects_ = other.objects_;
+  return Status::OK();
+}
+
+std::vector<ObjectId> ObjectStore::DiffAgainst(
+    const ObjectStore& other) const {
+  std::vector<ObjectId> diff;
+  std::size_t n = std::min(objects_.size(), other.objects_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (objects_[i].value != other.objects_[i].value) {
+      diff.push_back(i);
+    }
+  }
+  return diff;
+}
+
+}  // namespace tdr

@@ -1,0 +1,100 @@
+#ifndef TDR_STORAGE_OBJECT_STORE_H_
+#define TDR_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/timestamp.h"
+#include "storage/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdr {
+
+/// One replicated object as stored at a node: current value, the
+/// timestamp of the transaction that last wrote it, and (for the §6
+/// version-vector schemes) its version vector.
+struct StoredObject {
+  Value value;
+  Timestamp ts;
+  VersionVector vv;
+
+  std::string ToString() const {
+    return value.ToString() + " @" + ts.ToString();
+  }
+};
+
+/// A node's replica of the database: DB_Size objects, dense ids.
+///
+/// The store itself is deliberately dumb — all concurrency control and
+/// replication policy live above it (txn and replication modules). It
+/// provides exactly what those layers need: value/timestamp access, the
+/// timestamp tests from §4/§5, and digesting for convergence checks.
+class ObjectStore {
+ public:
+  /// Creates `db_size` objects, all scalar zero at Timestamp::Zero().
+  explicit ObjectStore(std::uint64_t db_size);
+
+  std::uint64_t size() const { return objects_.size(); }
+
+  bool Contains(ObjectId oid) const { return oid < objects_.size(); }
+
+  /// Read access. Out-of-range ids are a caller bug in this fixed-schema
+  /// model, reported as Status rather than UB.
+  Result<std::reference_wrapper<const StoredObject>> Get(ObjectId oid) const;
+
+  /// Mutable access for the concurrency-control layer, which has already
+  /// validated the id and holds the object's lock.
+  StoredObject& GetMutable(ObjectId oid) { return objects_[oid]; }
+  const StoredObject& GetUnchecked(ObjectId oid) const {
+    return objects_[oid];
+  }
+
+  /// Installs a new value and timestamp unconditionally (used by the
+  /// local commit path, which owns the object's lock).
+  Status Put(ObjectId oid, Value value, Timestamp ts);
+
+  /// The lazy-GROUP safety test (§4, Figure 4): the incoming replica
+  /// update carries the timestamp the root transaction saw. Applies the
+  /// update iff the local timestamp equals `expected_old_ts`; otherwise
+  /// returns kConflict — the caller must submit the transaction for
+  /// reconciliation.
+  Status ApplyIfTimestampMatches(ObjectId oid, const Value& value,
+                                 Timestamp expected_old_ts,
+                                 Timestamp new_ts);
+
+  /// The lazy-MASTER freshness test (§5): applies the update iff the
+  /// incoming timestamp is newer than the local replica's. A stale
+  /// update is ignored (returns OK with *applied=false), never an error —
+  /// slaves converge to the master's latest state regardless of message
+  /// ordering.
+  Status ApplyIfNewer(ObjectId oid, const Value& value, Timestamp new_ts,
+                      bool* applied);
+
+  /// Structural equality of the full database state; the convergence
+  /// checker's workhorse ("all the states will be identical", §6).
+  bool SameStateAs(const ObjectStore& other) const;
+
+  /// Equality ignoring timestamps — value convergence only.
+  bool SameValuesAs(const ObjectStore& other) const;
+
+  /// FNV-1a digest over values+timestamps, for cheap convergence
+  /// assertions across many nodes.
+  std::uint64_t Digest() const;
+
+  /// Copies the full state of `other` into this store (reconnect
+  /// refresh, snapshot install). Sizes must match.
+  Status CloneFrom(const ObjectStore& other);
+
+  /// Ids of objects whose value differs from `other` (diagnostics).
+  std::vector<ObjectId> DiffAgainst(const ObjectStore& other) const;
+
+ private:
+  std::vector<StoredObject> objects_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,120 @@
+#ifndef TDR_STORAGE_TIMESTAMP_H_
+#define TDR_STORAGE_TIMESTAMP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/types.h"
+
+namespace tdr {
+
+/// Lamport timestamp: (counter, node). Counters advance per node on
+/// every commit and are merged on message receipt, so timestamps are
+/// unique and totally ordered across the cluster — exactly what the
+/// paper's lazy-group "old timestamp must match" test (§4, Figure 4) and
+/// the lazy-master "newer wins / stale is ignored" test (§5) require.
+struct Timestamp {
+  std::uint64_t counter = 0;
+  NodeId node = 0;
+
+  constexpr Timestamp() = default;
+  constexpr Timestamp(std::uint64_t c, NodeId n) : counter(c), node(n) {}
+
+  /// The zero timestamp orders before every commit timestamp and marks a
+  /// never-updated object.
+  static constexpr Timestamp Zero() { return Timestamp{0, 0}; }
+
+  bool IsZero() const { return counter == 0; }
+
+  std::string ToString() const {
+    return std::to_string(counter) + "@" + std::to_string(node);
+  }
+
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.counter == b.counter && a.node == b.node;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) {
+    return !(a == b);
+  }
+  /// Total order: counter first, node id breaks ties.
+  friend constexpr bool operator<(Timestamp a, Timestamp b) {
+    if (a.counter != b.counter) return a.counter < b.counter;
+    return a.node < b.node;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) { return b < a; }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) {
+    return !(a < b);
+  }
+};
+
+/// Per-node Lamport clock.
+class LamportClock {
+ public:
+  explicit LamportClock(NodeId node) : node_(node) {}
+
+  /// Produces the next local timestamp.
+  Timestamp Tick() { return Timestamp{++counter_, node_}; }
+
+  /// Advances the clock past an observed remote timestamp (standard
+  /// Lamport receive rule).
+  void Observe(Timestamp remote) {
+    if (remote.counter > counter_) counter_ = remote.counter;
+  }
+
+  Timestamp Peek() const { return Timestamp{counter_, node_}; }
+
+ private:
+  NodeId node_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Version vector (one counter per updating node), as used by Microsoft
+/// Access "Wingman" replication (§6): each replica keeps a version vector
+/// per record; vectors are exchanged pairwise, the dominating version
+/// wins, and concurrent versions are flagged as conflicts.
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  std::uint64_t Get(NodeId node) const {
+    auto it = v_.find(node);
+    return it == v_.end() ? 0 : it->second;
+  }
+
+  void BumpTo(NodeId node, std::uint64_t counter) {
+    std::uint64_t& slot = v_[node];
+    if (counter > slot) slot = counter;
+  }
+
+  void Increment(NodeId node) { ++v_[node]; }
+
+  /// Component-wise maximum.
+  void Merge(const VersionVector& other) {
+    for (const auto& [node, c] : other.v_) BumpTo(node, c);
+  }
+
+  /// True if every component of this vector >= other's and at least one
+  /// is strictly greater.
+  bool Dominates(const VersionVector& other) const;
+
+  /// Neither dominates and they are unequal: concurrent updates.
+  bool ConcurrentWith(const VersionVector& other) const {
+    return !(*this == other) && !Dominates(other) && !other.Dominates(*this);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const VersionVector& a, const VersionVector& b);
+
+ private:
+  // map (not unordered) so iteration and ToString are deterministic.
+  std::map<NodeId, std::uint64_t> v_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_STORAGE_TIMESTAMP_H_

@@ -1,0 +1,99 @@
+#ifndef TDR_STORAGE_TYPES_H_
+#define TDR_STORAGE_TYPES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tdr {
+
+/// Database objects are identified by a dense integer id in
+/// [0, DB_Size), matching the paper's "fixed set of objects" model.
+using ObjectId = std::uint64_t;
+
+/// Nodes are identified by a dense integer id in [0, Nodes).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// Transaction ids are globally unique across the cluster.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// The value model: a scalar (account balances, prices, seat counts) or
+/// an append-only list (Lotus-Notes-style notes files, Section 6).
+/// Scalars support blind writes and commutative add/subtract; lists
+/// support commutative timestamped append.
+class Value {
+ public:
+  using List = std::vector<std::int64_t>;
+
+  /// Default: scalar zero.
+  Value() : rep_(std::int64_t{0}) {}
+  /// Scalar value.
+  explicit Value(std::int64_t scalar) : rep_(scalar) {}
+  /// List value.
+  explicit Value(List list) : rep_(std::move(list)) {}
+
+  bool is_scalar() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_list() const { return !is_scalar(); }
+
+  /// Scalar accessor; a list reads as its size (keeps arithmetic ops
+  /// total — simplifies the op language; callers normally know the type).
+  std::int64_t AsScalar() const {
+    if (is_scalar()) return std::get<std::int64_t>(rep_);
+    return static_cast<std::int64_t>(std::get<List>(rep_).size());
+  }
+
+  const List& AsList() const {
+    static const List kEmpty;
+    return is_list() ? std::get<List>(rep_) : kEmpty;
+  }
+
+  void SetScalar(std::int64_t v) { rep_ = v; }
+
+  /// Appends to the list form; a scalar value is promoted to a
+  /// single-element list holding the old scalar first. Items are kept in
+  /// sorted order — the item plays the role of the note's timestamp, and
+  /// "notes are stored in timestamp order" (§6, Lotus Notes) is exactly
+  /// what makes append commute: any interleaving of appends yields the
+  /// same final list.
+  void Append(std::int64_t item) {
+    if (is_scalar()) {
+      List promoted;
+      std::int64_t old = std::get<std::int64_t>(rep_);
+      if (old != 0) promoted.push_back(old);
+      rep_ = std::move(promoted);
+    }
+    List& list = std::get<List>(rep_);
+    auto it = std::lower_bound(list.begin(), list.end(), item);
+    list.insert(it, item);
+  }
+
+  std::string ToString() const {
+    if (is_scalar()) return std::to_string(AsScalar());
+    std::string out = "[";
+    const List& l = AsList();
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(l[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::variant<std::int64_t, List> rep_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_STORAGE_TYPES_H_

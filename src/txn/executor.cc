@@ -1,0 +1,341 @@
+#include "txn/executor.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tdr {
+
+std::string_view TxnOutcomeToString(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kDeadlock:
+      return "deadlock";
+    case TxnOutcome::kRejected:
+      return "rejected";
+    case TxnOutcome::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+Executor::Executor(sim::Simulator* sim, std::vector<Node*> nodes,
+                   CounterRegistry* counters)
+    : sim_(sim), nodes_(std::move(nodes)), counters_(counters) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    assert(nodes_[i] != nullptr && nodes_[i]->id() == i);
+  }
+}
+
+void Executor::Bump(const char* counter) {
+  if (counters_ != nullptr) counters_->Increment(counter);
+}
+
+void Executor::Emit(TraceEventType type, const Inflight* t, NodeId node,
+                    ObjectId oid, std::string detail) {
+  if (trace_ == nullptr) return;
+  TraceEvent event;
+  event.time = sim_->Now();
+  event.type = type;
+  event.txn = t->id;
+  event.node = node;
+  event.oid = oid;
+  event.detail = std::move(detail);
+  trace_->OnEvent(event);
+}
+
+TxnId Executor::Run(NodeId origin, std::vector<ExecStep> steps,
+                    RunOptions opts, DoneCallback done) {
+  TxnId id = next_txn_id_++;
+  auto t = std::make_unique<Inflight>();
+  t->id = id;
+  t->origin = origin;
+  t->steps = std::move(steps);
+  t->opts = std::move(opts);
+  t->done = std::move(done);
+  t->result.id = id;
+  t->result.origin = origin;
+  t->result.start_time = sim_->Now();
+  Inflight* raw = t.get();
+  inflight_.emplace(id, std::move(t));
+  Bump("txn.started");
+  Emit(TraceEventType::kTxnStart, raw, origin, 0,
+       StrPrintf("%zu steps", raw->steps.size()));
+  StepAcquire(raw);
+  return id;
+}
+
+void Executor::StepAcquire(Inflight* t) {
+  if (t->pc >= t->steps.size()) {
+    // All steps applied. Build the update records now (with a
+    // placeholder commit timestamp) so the precommit hook — the
+    // two-tier acceptance criterion — can inspect the final written
+    // values as well as the reads.
+    t->result.end_time = sim_->Now();
+    if (t->opts.record_updates) BuildUpdateRecords(t, Timestamp::Zero());
+    if (t->opts.precommit && !t->opts.precommit(t->result)) {
+      Abort(t, TxnOutcome::kRejected);
+      return;
+    }
+    Commit(t);
+    return;
+  }
+  const ExecStep& step = t->steps[t->pc];
+  t->touched_nodes.insert(step.node);
+  if (!step.op.IsWrite() && !t->opts.lock_reads) {
+    // Committed-read: no lock.
+    StepExecute(t);
+    return;
+  }
+  Node* n = node(step.node);
+  TxnId id = t->id;
+  LockManager::AcquireOutcome outcome = n->locks().Acquire(
+      id, step.op.oid, [this, id]() {
+        // Grant callback: the transaction may have been aborted and
+        // erased in the meantime only if someone cancelled the request,
+        // which never happens while it is queued; still, look it up
+        // defensively.
+        auto it = inflight_.find(id);
+        if (it == inflight_.end()) return;
+        Inflight* t2 = it->second.get();
+        SimTime waited = sim_->Now() - t2->wait_started;
+        t2->result.wait_time += waited;
+        wait_hist_.Add(static_cast<std::uint64_t>(waited.micros()));
+        const ExecStep& granted = t2->steps[t2->pc];
+        Emit(TraceEventType::kLockGrant, t2, granted.node, granted.op.oid,
+             StrPrintf("after %s", waited.ToString().c_str()));
+        StepExecute(t2);
+      });
+  switch (outcome) {
+    case LockManager::AcquireOutcome::kGranted:
+      StepExecute(t);
+      return;
+    case LockManager::AcquireOutcome::kQueued: {
+      ++t->result.waits;
+      t->wait_started = sim_->Now();
+      Bump("lock.waits");
+      Emit(TraceEventType::kLockWait, t, step.node, step.op.oid);
+      if (t->opts.wait_timeout > SimTime::Zero()) {
+        NodeId wait_node = step.node;
+        ObjectId wait_oid = step.op.oid;
+        sim_->ScheduleAfter(
+            t->opts.wait_timeout, [this, id, wait_node, wait_oid]() {
+              auto it = inflight_.find(id);
+              if (it == inflight_.end()) return;  // already finished
+              Inflight* t2 = it->second.get();
+              // Withdraw the request iff it is still queued; a false
+              // return means the lock was granted in the meantime.
+              if (!node(wait_node)->locks().CancelRequest(id, wait_oid)) {
+                return;
+              }
+              t2->result.timed_out = true;
+              ++wait_timeouts_;
+              Bump("txn.wait_timeouts");
+              Abort(t2, TxnOutcome::kDeadlock);
+            });
+      }
+      return;
+    }
+    case LockManager::AcquireOutcome::kDeadlock:
+      Bump("txn.deadlocks");
+      Abort(t, TxnOutcome::kDeadlock);
+      return;
+  }
+}
+
+void Executor::StepExecute(Inflight* t) {
+  const ExecStep& step = t->steps[t->pc];
+  SimTime cost = (!step.charge || (!step.op.IsWrite() &&
+                                   !t->opts.charge_reads))
+                     ? SimTime::Zero()
+                     : t->opts.action_time;
+  TxnId id = t->id;
+  sim_->ScheduleAfter(cost, [this, id]() {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;
+    ApplyStep(it->second.get());
+  });
+}
+
+void Executor::ApplyStep(Inflight* t) {
+  const ExecStep& step = t->steps[t->pc];
+  Node* n = node(step.node);
+  auto key = std::make_pair(step.node, step.op.oid);
+  if (step.kind == StepKind::kLockOnly) {
+    // Lock held; the kQuorumApply step installs the value later.
+    ++t->pc;
+    StepAcquire(t);
+    return;
+  }
+  if (step.kind == StepKind::kQuorumApply) {
+    ApplyQuorumStep(t);
+    return;
+  }
+  auto bit = t->buffer.find(key);
+  // Visible value: own buffered write, else last committed value.
+  Value visible = bit != t->buffer.end()
+                      ? bit->second
+                      : n->store().GetUnchecked(step.op.oid).value;
+  if (step.op.type == OpType::kRead) {
+    t->result.reads.push_back(std::move(visible));
+  } else {
+    if (t->observed_ts.find(key) == t->observed_ts.end()) {
+      // Remember the timestamp the transaction saw before its first
+      // write here — lazy replica updates carry it as their "old time"
+      // (Figure 4).
+      t->observed_ts[key] = n->store().GetUnchecked(step.op.oid).ts;
+    }
+    step.op.ApplyTo(&visible);
+    t->buffer[key] = std::move(visible);
+  }
+  Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
+       step.op.ToString());
+  ++t->pc;
+  StepAcquire(t);
+}
+
+void Executor::ApplyQuorumStep(Inflight* t) {
+  const ExecStep& step = t->steps[t->pc];
+  // Members of this op's write set: every step sharing its op_index.
+  // All of them are locked by now (the kLockOnly steps precede this
+  // one), so their values are frozen: read the newest version, apply
+  // the op once, install the same value at every member.
+  std::vector<NodeId> members;
+  for (const ExecStep& s : t->steps) {
+    if (s.op_index == step.op_index) members.push_back(s.node);
+  }
+  Value best;
+  Timestamp best_ts;
+  bool have_own = false;
+  for (NodeId member : members) {
+    auto key = std::make_pair(member, step.op.oid);
+    auto bit = t->buffer.find(key);
+    if (bit != t->buffer.end()) {
+      // Our own earlier (buffered) write is newer than anything
+      // committed; prefer it.
+      best = bit->second;
+      have_own = true;
+      break;
+    }
+    const StoredObject& obj =
+        node(member)->store().GetUnchecked(step.op.oid);
+    if (members.front() == member || obj.ts > best_ts) {
+      best = obj.value;
+      best_ts = obj.ts;
+    }
+  }
+  if (!have_own) {
+    // Record the observed timestamp at the step's node for lazy
+    // record-building symmetry.
+    auto self_key = std::make_pair(step.node, step.op.oid);
+    if (t->observed_ts.find(self_key) == t->observed_ts.end()) {
+      t->observed_ts[self_key] = best_ts;
+    }
+  }
+  step.op.ApplyTo(&best);
+  for (NodeId member : members) {
+    t->buffer[std::make_pair(member, step.op.oid)] = best;
+  }
+  Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
+       StrPrintf("quorum %s -> %s", step.op.ToString().c_str(),
+                 best.ToString().c_str()));
+  ++t->pc;
+  StepAcquire(t);
+}
+
+void Executor::BuildUpdateRecords(Inflight* t, Timestamp commit_ts) {
+  // One record per installed (node, object), rebuilt from scratch so the
+  // precommit pass (placeholder timestamp) and the commit pass (real
+  // timestamp) agree.
+  t->result.updates.clear();
+  for (const auto& [key, value] : t->buffer) {
+    UpdateRecord rec;
+    rec.txn = t->id;
+    rec.oid = key.second;
+    auto oit = t->observed_ts.find(key);
+    rec.old_ts =
+        oit != t->observed_ts.end() ? oit->second : Timestamp::Zero();
+    rec.new_ts = commit_ts;
+    rec.new_value = value;
+    rec.origin = key.first;
+    rec.commit_time = sim_->Now();
+    t->result.updates.push_back(std::move(rec));
+  }
+}
+
+void Executor::Commit(Inflight* t) {
+  Node* origin_node = node(t->origin);
+  // The commit timestamp must order after every commit this transaction
+  // serialized behind at any node it touched: pull all touched clocks
+  // forward into the origin's before ticking. Otherwise two writers of
+  // one object, serialized by its master's lock, could carry timestamps
+  // in the opposite order and newer-wins slave refreshes would converge
+  // to a value different from the master's (lost slave update).
+  for (NodeId nid : t->touched_nodes) {
+    origin_node->clock().Observe(node(nid)->clock().Peek());
+  }
+  Timestamp commit_ts = origin_node->clock().Tick();
+  t->result.commit_ts = commit_ts;
+  // Install buffered writes everywhere they were produced.
+  for (const auto& [key, value] : t->buffer) {
+    Node* n = node(key.first);
+    n->clock().Observe(commit_ts);
+    Status s = n->store().Put(key.second, value, commit_ts);
+    assert(s.ok());
+    (void)s;
+  }
+  // Stamp the pre-built update records with the real commit timestamp.
+  if (t->opts.record_updates) BuildUpdateRecords(t, commit_ts);
+  for (NodeId nid : t->touched_nodes) {
+    node(nid)->locks().ReleaseAll(t->id);
+  }
+  t->result.outcome = TxnOutcome::kCommitted;
+  t->result.end_time = sim_->Now();
+  ++committed_;
+  Bump("txn.committed");
+  Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
+       StrPrintf("ts=%s", commit_ts.ToString().c_str()));
+  Finish(t);
+}
+
+void Executor::Abort(Inflight* t, TxnOutcome outcome) {
+  assert(outcome != TxnOutcome::kCommitted);
+  for (NodeId nid : t->touched_nodes) {
+    node(nid)->locks().ReleaseAll(t->id);
+  }
+  t->result.outcome = outcome;
+  t->result.end_time = sim_->Now();
+  if (outcome == TxnOutcome::kDeadlock) {
+    ++deadlocked_;
+  } else {
+    ++rejected_;
+    Bump("txn.rejected");
+  }
+  Emit(TraceEventType::kTxnAbort, t, t->origin, 0,
+       std::string(TxnOutcomeToString(outcome)));
+  Finish(t);
+}
+
+void Executor::Finish(Inflight* t) {
+  // Move the node out of the map before invoking the callback: the
+  // callback commonly starts new transactions (retry loops) and must not
+  // invalidate `t` mid-flight.
+  auto it = inflight_.find(t->id);
+  assert(it != inflight_.end());
+  std::unique_ptr<Inflight> owned = std::move(it->second);
+  inflight_.erase(it);
+  if (owned->done) owned->done(owned->result);
+}
+
+std::vector<ExecStep> LocalPlan(NodeId node, const Program& program) {
+  std::vector<ExecStep> steps;
+  steps.reserve(program.size());
+  for (const Op& op : program.ops()) {
+    steps.push_back(ExecStep{node, op});
+  }
+  return steps;
+}
+
+}  // namespace tdr

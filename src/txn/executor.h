@@ -1,0 +1,227 @@
+#ifndef TDR_TXN_EXECUTOR_H_
+#define TDR_TXN_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/update_log.h"
+#include "txn/node.h"
+#include "txn/op.h"
+#include "txn/program.h"
+#include "txn/trace.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace tdr {
+
+/// How a transaction ended.
+enum class TxnOutcome {
+  kCommitted = 0,
+  kDeadlock = 1,    // victim of a wait-for cycle; updates discarded
+  kRejected = 2,    // precommit hook (acceptance criterion) said no
+  kUnavailable = 3, // never ran: a required master node was disconnected
+                    // (synthesized by replication schemes, not Executor)
+};
+
+std::string_view TxnOutcomeToString(TxnOutcome outcome);
+
+/// How a plan step behaves once its lock is granted.
+enum class StepKind : std::uint8_t {
+  /// Apply the op to this node's visible value (the replication-model
+  /// default: each replica recomputes the action locally).
+  kNormal = 0,
+  /// Acquire the lock only; the value is installed later by a
+  /// kQuorumApply step of the same op_index. Used by quorum writes to
+  /// freeze the whole write set before reading the best version.
+  kLockOnly = 1,
+  /// Final step of a quorum write: every member of the op's write set
+  /// (all steps sharing op_index) is now locked. Read the newest version
+  /// among them, apply the op once, and install the SAME resulting value
+  /// at every member — Gifford-style version-correct quorum writing.
+  kQuorumApply = 2,
+};
+
+/// One action of an execution plan: apply `op` at node `node`. A
+/// replication scheme compiles a Program into a plan; e.g. eager group
+/// replication turns each write into Nodes consecutive steps — "the
+/// transaction does N times as much work" (Figure 1).
+struct ExecStep {
+  NodeId node = 0;
+  Op op;
+  /// If false, the step is free of Action_Time (it still locks). This
+  /// models the paper's footnote-2 alternative where replica updates are
+  /// broadcast and applied in parallel, so a transaction's elapsed time
+  /// does not grow with N.
+  bool charge = true;
+  StepKind kind = StepKind::kNormal;
+  /// Groups the steps of one program op across nodes (quorum plans).
+  int op_index = -1;
+};
+
+/// Everything a caller learns about a finished transaction.
+struct TxnResult {
+  TxnId id = kInvalidTxnId;
+  NodeId origin = 0;
+  TxnOutcome outcome = TxnOutcome::kDeadlock;
+  /// Values observed by kRead steps, in step order.
+  std::vector<Value> reads;
+  /// Commit timestamp; only meaningful when committed.
+  Timestamp commit_ts;
+  /// Replica-update records for the lazy propagation pipeline: one per
+  /// (node, object) written, with UpdateRecord::origin set to the node
+  /// where the write was installed (the origin node for lazy-group root
+  /// transactions; the owner node for lazy-master transactions). Built
+  /// only when committed and RunOptions::record_updates is set.
+  std::vector<UpdateRecord> updates;
+  std::uint64_t waits = 0;      // lock requests that had to queue
+  SimTime wait_time;            // total time spent blocked
+  SimTime start_time;
+  SimTime end_time;
+  /// True if a kDeadlock outcome came from a wait timeout rather than a
+  /// wait-for-graph cycle (timeouts fire on plain long waits too — the
+  /// false-positive cost of timeout-based detection).
+  bool timed_out = false;
+
+  SimTime Duration() const { return end_time - start_time; }
+};
+
+/// Event-driven transaction executor shared by every replication scheme.
+///
+/// Concurrency-control model (deliberately the paper's, §2/§3):
+///  * writes take exclusive locks, held to commit/abort (strict 2PL);
+///  * reads take no locks and see the last committed value
+///    (committed-read) — own buffered writes are visible to self;
+///  * each step costs `action_time` of simulated time after its lock is
+///    granted, serializing replica updates exactly as the paper's model
+///    chooses to ("we attempt to capture message handling costs by
+///    serializing the individual updates", footnote 2);
+///  * deadlocks abort the requesting transaction immediately (perfect
+///    instant detection, the model's assumption).
+///
+/// Writes are buffered per (node, object) and installed atomically at
+/// commit with the commit timestamp, so aborts need no undo and other
+/// transactions never see uncommitted data.
+class Executor {
+ public:
+  using DoneCallback = std::function<void(const TxnResult&)>;
+  /// Runs after the last step, before any update is installed. Return
+  /// false to reject (abort) the transaction — this is how two-tier
+  /// acceptance criteria veto a base transaction.
+  using PrecommitHook = std::function<bool(const TxnResult&)>;
+
+  struct RunOptions {
+    SimTime action_time = SimTime::Millis(10);
+    PrecommitHook precommit;        // optional
+    bool record_updates = true;     // build UpdateRecords at commit
+    /// Charge action_time for read steps too (default true: the model's
+    /// Actions are all the same length).
+    bool charge_reads = true;
+    /// Take exclusive locks on reads as well — the "true serialization"
+    /// the base model deliberately omits ("no read locks"). Ablation
+    /// only; rates can only get worse with it on.
+    bool lock_reads = false;
+    /// If positive, a lock wait longer than this aborts the transaction
+    /// (timeout-based deadlock detection, the production alternative to
+    /// the wait-for graph the model assumes). The wait-for graph is
+    /// still consulted first; timeouts additionally kill long
+    /// non-deadlocked waits — the technique's false positives, which
+    /// the ablation bench quantifies.
+    SimTime wait_timeout = SimTime::Zero();
+  };
+
+  /// `nodes[i]->id()` must equal i. All pointers must outlive the
+  /// executor. `counters` may be null.
+  Executor(sim::Simulator* sim, std::vector<Node*> nodes,
+           CounterRegistry* counters);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Starts a transaction originating at `origin` executing `steps`.
+  /// `done` fires exactly once, from simulated time, after commit or
+  /// abort. Returns the transaction id.
+  TxnId Run(NodeId origin, std::vector<ExecStep> steps, RunOptions opts,
+            DoneCallback done);
+
+  /// Transactions currently executing or waiting.
+  std::size_t ActiveCount() const { return inflight_.size(); }
+
+  /// Draws a transaction id from the executor's pool. Replica-update
+  /// appliers that drive LockManagers directly must share this id space
+  /// so the cluster-global wait-for graph stays consistent.
+  TxnId AllocateTxnId() { return next_txn_id_++; }
+
+  /// Attaches a protocol trace sink (may be null to detach). Not owned.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace_sink() const { return trace_; }
+
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t deadlocked() const { return deadlocked_; }
+  std::uint64_t rejected() const { return rejected_; }
+  /// Subset of deadlocked() caused by wait timeouts (only nonzero when
+  /// RunOptions::wait_timeout is used).
+  std::uint64_t wait_timeouts() const { return wait_timeouts_; }
+
+  /// Distribution of lock-wait durations (simulated micros).
+  const Histogram& wait_histogram() const { return wait_hist_; }
+
+ private:
+  struct Inflight {
+    TxnId id = kInvalidTxnId;
+    NodeId origin = 0;
+    std::vector<ExecStep> steps;
+    std::size_t pc = 0;
+    RunOptions opts;
+    DoneCallback done;
+    // Buffered writes: final value per (node, object).
+    std::map<std::pair<NodeId, ObjectId>, Value> buffer;
+    // Timestamp each written (node, object) had before this txn's first
+    // write there — the "old time" carried by lazy replica updates
+    // (Figure 4).
+    std::map<std::pair<NodeId, ObjectId>, Timestamp> observed_ts;
+    std::set<NodeId> touched_nodes;
+    SimTime wait_started;
+    TxnResult result;
+  };
+
+  Node* node(NodeId id) { return nodes_[id]; }
+
+  void StepAcquire(Inflight* t);
+  void StepExecute(Inflight* t);
+  void ApplyStep(Inflight* t);
+  void ApplyQuorumStep(Inflight* t);
+  void BuildUpdateRecords(Inflight* t, Timestamp commit_ts);
+  void Commit(Inflight* t);
+  void Abort(Inflight* t, TxnOutcome outcome);
+  void Finish(Inflight* t);
+  void Bump(const char* counter);
+  void Emit(TraceEventType type, const Inflight* t, NodeId node,
+            ObjectId oid, std::string detail = "");
+
+  sim::Simulator* sim_;
+  std::vector<Node*> nodes_;
+  CounterRegistry* counters_;
+  TraceSink* trace_ = nullptr;
+  std::map<TxnId, std::unique_ptr<Inflight>> inflight_;
+  TxnId next_txn_id_ = 1;
+  std::uint64_t committed_ = 0;
+  std::uint64_t deadlocked_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t wait_timeouts_ = 0;
+  Histogram wait_hist_;
+};
+
+/// Compiles `program` into a single-node plan: every op runs at `node`.
+/// Used by lazy schemes (root transaction is local) and by single-node
+/// baselines.
+std::vector<ExecStep> LocalPlan(NodeId node, const Program& program);
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdr {
+
+void LockManager::AddWaitEdges(const LockState& state, TxnId waiter) const {
+  graph_->AddEdge(waiter, state.holder);
+  for (const Waiter& w : state.queue) {
+    if (w.txn == waiter) break;  // edges only to earlier waiters
+    graph_->AddEdge(waiter, w.txn);
+  }
+}
+
+LockManager::AcquireOutcome LockManager::Acquire(TxnId txn, ObjectId oid,
+                                                 GrantCallback on_grant) {
+  LockState& state = locks_[oid];
+  if (state.holder == kInvalidTxnId) {
+    state.holder = txn;
+    held_[txn].push_back(oid);
+    return AcquireOutcome::kGranted;
+  }
+  if (state.holder == txn) {
+    return AcquireOutcome::kGranted;  // reentrant
+  }
+  // Must wait. Tentatively enqueue and add wait-for edges, then test
+  // whether this request closes a cycle.
+  state.queue.push_back(Waiter{txn, std::move(on_grant)});
+  AddWaitEdges(state, txn);
+  if (detect_cycles_ && graph_->HasCycleFrom(txn)) {
+    // The requester is the deadlock victim: withdraw the request.
+    ++total_deadlocks_;
+    state.queue.pop_back();
+    graph_->ClearOutEdges(txn);
+    return AcquireOutcome::kDeadlock;
+  }
+  ++total_waits_;
+  return AcquireOutcome::kQueued;
+}
+
+void LockManager::Release(TxnId txn, ObjectId oid) {
+  auto it = locks_.find(oid);
+  if (it == locks_.end() || it->second.holder != txn) {
+    ++bad_releases_;
+    return;
+  }
+  LockState& state = it->second;
+  // Drop reverse-index entry.
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    auto& v = hit->second;
+    v.erase(std::remove(v.begin(), v.end(), oid), v.end());
+    if (v.empty()) held_.erase(hit);
+  }
+  if (state.queue.empty()) {
+    locks_.erase(it);
+    return;
+  }
+  // Grant to the FIFO front.
+  Waiter next = std::move(state.queue.front());
+  state.queue.pop_front();
+  state.holder = next.txn;
+  held_[next.txn].push_back(oid);
+  // The granted transaction no longer waits for anyone (it was the
+  // front: its only edges were to the old holder).
+  graph_->ClearOutEdges(next.txn);
+  // Remaining waiters no longer wait for the old holder; they already
+  // hold edges to the new holder (it was an earlier waiter).
+  for (const Waiter& w : state.queue) {
+    graph_->RemoveEdge(w.txn, txn);
+  }
+  if (next.on_grant) next.on_grant();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  // Copy: Release mutates held_.
+  std::vector<ObjectId> oids = hit->second;
+  for (ObjectId oid : oids) Release(txn, oid);
+}
+
+bool LockManager::CancelRequest(TxnId txn, ObjectId oid) {
+  auto it = locks_.find(oid);
+  if (it == locks_.end()) return false;
+  LockState& state = it->second;
+  auto qit = std::find_if(state.queue.begin(), state.queue.end(),
+                          [txn](const Waiter& w) { return w.txn == txn; });
+  if (qit == state.queue.end()) return false;
+  bool found_cancelled = false;
+  // Later waiters drop their edge to the cancelled one.
+  for (const Waiter& w : state.queue) {
+    if (w.txn == txn) {
+      found_cancelled = true;
+      continue;
+    }
+    if (found_cancelled) graph_->RemoveEdge(w.txn, txn);
+  }
+  state.queue.erase(qit);
+  graph_->ClearOutEdges(txn);
+  return true;
+}
+
+bool LockManager::Holds(TxnId txn, ObjectId oid) const {
+  auto it = locks_.find(oid);
+  return it != locks_.end() && it->second.holder == txn;
+}
+
+std::size_t LockManager::HeldCount(TxnId txn) const {
+  auto hit = held_.find(txn);
+  return hit == held_.end() ? 0 : hit->second.size();
+}
+
+std::size_t LockManager::WaiterCount() const {
+  std::size_t n = 0;
+  for (const auto& [oid, state] : locks_) n += state.queue.size();
+  return n;
+}
+
+}  // namespace tdr

@@ -1,0 +1,115 @@
+#ifndef TDR_TXN_LOCK_MANAGER_H_
+#define TDR_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+#include "txn/wait_for_graph.h"
+
+namespace tdr {
+
+/// Per-node exclusive lock manager with FIFO wait queues and immediate
+/// deadlock detection against a cluster-global WaitForGraph.
+///
+/// The paper's model uses pure write locking: "it ignores true
+/// serialization, and assumes a weak multi-version form of
+/// committed-read serialization (no read locks)". Reads never come here;
+/// writes take exclusive object locks held to commit/abort (strict 2PL
+/// on writes).
+///
+/// IMPORTANT CONTRACT: a transaction may have at most one outstanding
+/// (queued) lock request across the whole cluster at a time — our
+/// transactions execute actions sequentially, which guarantees this.
+/// The wait-for bookkeeping relies on it.
+class LockManager {
+ public:
+  enum class AcquireOutcome {
+    kGranted,   // lock acquired immediately (or already held)
+    kQueued,    // on_grant will fire when the lock is granted
+    kDeadlock,  // queuing would close a wait-for cycle; request dropped
+  };
+
+  using GrantCallback = std::function<void()>;
+
+  /// `graph` is shared across all lock managers of a cluster and must
+  /// outlive them. With `detect_cycles` false the wait-for graph is
+  /// still maintained (for diagnostics) but requests that close a cycle
+  /// simply QUEUE — deadlock resolution is then someone else's job
+  /// (e.g. the executor's wait timeouts). That is the production
+  /// timeout-based alternative the ablation bench compares against.
+  LockManager(NodeId node, WaitForGraph* graph, bool detect_cycles = true)
+      : node_(node), graph_(graph), detect_cycles_(detect_cycles) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests the exclusive lock on `oid` for `txn`. Re-acquiring a held
+  /// lock returns kGranted. On kQueued, `on_grant` fires exactly once
+  /// when the transaction reaches the front; on kDeadlock the request
+  /// has been dropped (the requester is the victim — the paper's
+  /// per-transaction deadlock hazard, Eq. 3) and `on_grant` never fires.
+  AcquireOutcome Acquire(TxnId txn, ObjectId oid, GrantCallback on_grant);
+
+  /// Releases a held lock; grants to the next queued waiter, if any.
+  /// Releasing a lock that is not held by `txn` is an internal error and
+  /// is ignored (counted in `bad_releases()` for tests to assert on).
+  void Release(TxnId txn, ObjectId oid);
+
+  /// Releases every lock `txn` holds at this node (commit/abort path).
+  void ReleaseAll(TxnId txn);
+
+  /// Withdraws a queued request (the waiter aborted for another reason).
+  /// Returns true if a request was withdrawn.
+  bool CancelRequest(TxnId txn, ObjectId oid);
+
+  bool Holds(TxnId txn, ObjectId oid) const;
+
+  /// Number of locks `txn` currently holds at this node.
+  std::size_t HeldCount(TxnId txn) const;
+
+  /// Number of objects currently locked at this node.
+  std::size_t LockedObjectCount() const { return locks_.size(); }
+
+  /// Number of transactions queued (waiting) at this node.
+  std::size_t WaiterCount() const;
+
+  std::uint64_t total_waits() const { return total_waits_; }
+  std::uint64_t total_deadlocks() const { return total_deadlocks_; }
+  std::uint64_t bad_releases() const { return bad_releases_; }
+
+  NodeId node() const { return node_; }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    GrantCallback on_grant;
+  };
+  struct LockState {
+    TxnId holder = kInvalidTxnId;
+    std::deque<Waiter> queue;
+  };
+
+  /// Installs wait-for edges for a newly queued waiter: edge to the
+  /// holder and to each earlier waiter (FIFO queues mean you wait behind
+  /// them too).
+  void AddWaitEdges(const LockState& state, TxnId waiter) const;
+
+  NodeId node_;
+  WaitForGraph* graph_;
+  bool detect_cycles_;
+  std::map<ObjectId, LockState> locks_;  // only objects locked or queued
+  // Reverse index: locks held per txn, for ReleaseAll.
+  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
+  std::uint64_t total_waits_ = 0;
+  std::uint64_t total_deadlocks_ = 0;
+  std::uint64_t bad_releases_ = 0;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_LOCK_MANAGER_H_

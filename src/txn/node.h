@@ -1,0 +1,61 @@
+#ifndef TDR_TXN_NODE_H_
+#define TDR_TXN_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/object_store.h"
+#include "storage/timestamp.h"
+#include "storage/update_log.h"
+#include "txn/lock_manager.h"
+#include "txn/wait_for_graph.h"
+
+namespace tdr {
+
+/// One simulated database node: a full replica of the database plus the
+/// local transaction machinery ("each node storing a replica of all
+/// objects", §2 model). Replication schemes and the two-tier core layer
+/// compose behaviour on top; Node itself is policy-free.
+class Node {
+ public:
+  Node(NodeId id, std::uint64_t db_size, WaitForGraph* graph,
+       bool detect_deadlock_cycles = true)
+      : id_(id),
+        store_(db_size),
+        locks_(id, graph, detect_deadlock_cycles),
+        clock_(id) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  LockManager& locks() { return locks_; }
+  const LockManager& locks() const { return locks_; }
+
+  LamportClock& clock() { return clock_; }
+
+  /// Commit-ordered outbound replica updates not yet propagated (lazy
+  /// schemes; accumulates while a mobile node is disconnected).
+  UpdateLog& out_log() { return out_log_; }
+  const UpdateLog& out_log() const { return out_log_; }
+
+  /// Connectivity flag maintained by the net module's ConnectivitySchedule.
+  bool connected() const { return connected_; }
+  void set_connected(bool connected) { connected_ = connected; }
+
+ private:
+  NodeId id_;
+  ObjectStore store_;
+  LockManager locks_;
+  LamportClock clock_;
+  UpdateLog out_log_;
+  bool connected_ = true;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_NODE_H_

@@ -1,0 +1,68 @@
+#include "txn/op.h"
+
+#include "util/logging.h"
+
+namespace tdr {
+
+std::string_view OpTypeToString(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+    case OpType::kAdd:
+      return "add";
+    case OpType::kSubtract:
+      return "sub";
+    case OpType::kAppend:
+      return "append";
+    case OpType::kMultiply:
+      return "mul";
+  }
+  return "?";
+}
+
+void Op::ApplyTo(Value* value) const {
+  switch (type) {
+    case OpType::kRead:
+      break;
+    case OpType::kWrite:
+      value->SetScalar(operand);
+      break;
+    case OpType::kAdd:
+      value->SetScalar(value->AsScalar() + operand);
+      break;
+    case OpType::kSubtract:
+      value->SetScalar(value->AsScalar() - operand);
+      break;
+    case OpType::kAppend:
+      value->Append(operand);
+      break;
+    case OpType::kMultiply:
+      value->SetScalar(value->AsScalar() * operand);
+      break;
+  }
+}
+
+std::string Op::ToString() const {
+  return StrPrintf("%s(o%llu,%lld)", std::string(OpTypeToString(type)).c_str(),
+                   (unsigned long long)oid, (long long)operand);
+}
+
+bool OpsCommute(const Op& a, const Op& b) {
+  if (a.oid != b.oid) return true;
+  if (a.type == OpType::kRead && b.type == OpType::kRead) return true;
+  // A read against any write on the same object is order-sensitive.
+  if (a.type == OpType::kRead || b.type == OpType::kRead) return false;
+  auto is_additive = [](OpType t) {
+    return t == OpType::kAdd || t == OpType::kSubtract;
+  };
+  if (is_additive(a.type) && is_additive(b.type)) return true;
+  if (a.type == OpType::kAppend && b.type == OpType::kAppend) return true;
+  if (a.type == OpType::kMultiply && b.type == OpType::kMultiply) return true;
+  // Blind writes never commute with any other write on the same object
+  // (write/write last-wins asymmetry), nor does mixing arithmetic kinds.
+  return false;
+}
+
+}  // namespace tdr

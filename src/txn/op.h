@@ -1,0 +1,85 @@
+#ifndef TDR_TXN_OP_H_
+#define TDR_TXN_OP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/types.h"
+
+namespace tdr {
+
+/// The transaction operation language.
+///
+/// The two-tier scheme (§7) re-executes tentative transactions at base
+/// nodes, so transactions must be *re-executable programs*, not value
+/// diffs. Ops are deterministic functions of the pre-state, which is all
+/// re-execution needs. The commutative subset (Add/Subtract/Append) is
+/// the paper's §6 "incremental transformations of a value that can be
+/// applied in any order"; Write/Multiply are the non-commutative
+/// record-value updates ("change account from $200 to $150") that cause
+/// lost updates under timestamp schemes.
+enum class OpType : std::uint8_t {
+  kRead = 0,      // record the current value; no state change
+  kWrite = 1,     // blind write of a constant (NOT commutative)
+  kAdd = 2,       // value += operand (commutative)
+  kSubtract = 3,  // value -= operand (commutative; "Debit the account")
+  kAppend = 4,    // timestamped append to a list (commutative, §6)
+  kMultiply = 5,  // value *= operand (commutes with itself, not with Add)
+};
+
+std::string_view OpTypeToString(OpType type);
+
+/// One action of a transaction. `Actions` of these make up a program —
+/// the paper's "each transaction updates a fixed number of objects".
+struct Op {
+  OpType type = OpType::kRead;
+  ObjectId oid = 0;
+  std::int64_t operand = 0;
+
+  static Op Read(ObjectId oid) { return {OpType::kRead, oid, 0}; }
+  static Op Write(ObjectId oid, std::int64_t v) {
+    return {OpType::kWrite, oid, v};
+  }
+  static Op Add(ObjectId oid, std::int64_t delta) {
+    return {OpType::kAdd, oid, delta};
+  }
+  static Op Subtract(ObjectId oid, std::int64_t delta) {
+    return {OpType::kSubtract, oid, delta};
+  }
+  static Op Append(ObjectId oid, std::int64_t item) {
+    return {OpType::kAppend, oid, item};
+  }
+  static Op Multiply(ObjectId oid, std::int64_t factor) {
+    return {OpType::kMultiply, oid, factor};
+  }
+
+  bool IsWrite() const { return type != OpType::kRead; }
+
+  /// Applies this op to `value` in place. Reads leave it untouched.
+  void ApplyTo(Value* value) const;
+
+  /// True if this op type is order-insensitive against any other op of a
+  /// commutative type on the same object.
+  bool IsCommutative() const {
+    return type == OpType::kAdd || type == OpType::kSubtract ||
+           type == OpType::kAppend || type == OpType::kRead;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Op& a, const Op& b) {
+    return a.type == b.type && a.oid == b.oid && a.operand == b.operand;
+  }
+};
+
+/// True if executing `a` then `b` always yields the same state as `b`
+/// then `a`. Ops on distinct objects always commute; on the same object
+/// the commutative arithmetic group {Add, Subtract} commutes, Appends
+/// commute with each other, Reads commute with Reads, and Multiply
+/// commutes only with Multiply. (Read does NOT commute with a write op —
+/// swapping them changes what the read observes.)
+bool OpsCommute(const Op& a, const Op& b);
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_OP_H_

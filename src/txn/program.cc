@@ -1,0 +1,84 @@
+#include "txn/program.h"
+
+#include <algorithm>
+
+namespace tdr {
+
+std::vector<ObjectId> Program::Objects() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(ops_.size());
+  for (const Op& op : ops_) ids.push_back(op.oid);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<ObjectId> Program::WriteSet() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(ops_.size());
+  for (const Op& op : ops_) {
+    if (op.IsWrite()) ids.push_back(op.oid);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::size_t Program::WriteActionCount() const {
+  std::size_t n = 0;
+  for (const Op& op : ops_) {
+    if (op.IsWrite()) ++n;
+  }
+  return n;
+}
+
+bool Program::CommutesWith(const Program& other) const {
+  for (const Op& a : ops_) {
+    for (const Op& b : other.ops_) {
+      if (!OpsCommute(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+bool Program::IsFullyCommutative() const {
+  // Reads commute with reads but not with writes, so a program with a
+  // read is only unconditionally commutative if nothing writes the read
+  // object — too strong a guarantee to claim here; require pure
+  // commutative *updates* plus reads of objects the program itself does
+  // not treat as order-sensitive. The simple sound rule: every op is
+  // Add/Subtract/Append (no reads, no writes, no multiplies).
+  for (const Op& op : ops_) {
+    if (op.type != OpType::kAdd && op.type != OpType::kSubtract &&
+        op.type != OpType::kAppend) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Program::ToString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += ops_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<Value> EvaluateProgram(const Program& program,
+                                   std::map<ObjectId, Value>* state) {
+  std::vector<Value> reads;
+  for (const Op& op : program.ops()) {
+    Value& slot = (*state)[op.oid];
+    if (op.type == OpType::kRead) {
+      reads.push_back(slot);
+    } else {
+      op.ApplyTo(&slot);
+    }
+  }
+  return reads;
+}
+
+}  // namespace tdr

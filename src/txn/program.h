@@ -1,0 +1,73 @@
+#ifndef TDR_TXN_PROGRAM_H_
+#define TDR_TXN_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "txn/op.h"
+
+namespace tdr {
+
+/// A transaction program: an ordered list of ops. Programs are the unit
+/// the two-tier scheme ships from mobile to base nodes — "sends all its
+/// tentative transactions (and all their input parameters) to the base
+/// node to be executed in the order in which they committed" (§7).
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const Op& op(std::size_t i) const { return ops_[i]; }
+
+  Program& Add(Op op) {
+    ops_.push_back(op);
+    return *this;
+  }
+
+  /// Distinct objects the program touches, ascending — the transaction's
+  /// *scope* in the §7 sense. The scope rule check in the two-tier core
+  /// walks this list.
+  std::vector<ObjectId> Objects() const;
+
+  /// Distinct objects the program writes, ascending.
+  std::vector<ObjectId> WriteSet() const;
+
+  /// Number of write ops ("Actions": the model counts updates only —
+  /// "Reads are ignored").
+  std::size_t WriteActionCount() const;
+
+  /// True if every op of this program commutes with every op of `other`
+  /// (conservative pairwise test). Commuting transactions "can be
+  /// applied in any order" (§6) — the property that drives the two-tier
+  /// reconciliation rate to zero.
+  bool CommutesWith(const Program& other) const;
+
+  /// True if all of this program's ops are from the commutative subset,
+  /// i.e. it commutes with any other such program.
+  bool IsFullyCommutative() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Program& a, const Program& b) {
+    return a.ops_ == b.ops_;
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Evaluates a program against a plain map image of the database —
+/// the reference (non-concurrent) semantics used by tests and by the
+/// §6 convergence schemes. Missing objects read as scalar zero.
+/// Returns the values read by kRead ops, in program order.
+std::vector<Value> EvaluateProgram(const Program& program,
+                                   std::map<ObjectId, Value>* state);
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_PROGRAM_H_

@@ -1,0 +1,60 @@
+#include "txn/trace.h"
+
+#include "util/logging.h"
+
+namespace tdr {
+
+std::string_view TraceEventTypeToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxnStart:
+      return "txn-start";
+    case TraceEventType::kLockWait:
+      return "lock-wait";
+    case TraceEventType::kLockGrant:
+      return "lock-grant";
+    case TraceEventType::kOpApply:
+      return "op-apply";
+    case TraceEventType::kTxnCommit:
+      return "txn-commit";
+    case TraceEventType::kTxnAbort:
+      return "txn-abort";
+    case TraceEventType::kReplicaTxnStart:
+      return "replica-start";
+    case TraceEventType::kReplicaApply:
+      return "replica-apply";
+    case TraceEventType::kReplicaStale:
+      return "replica-stale";
+    case TraceEventType::kReplicaConflict:
+      return "replica-CONFLICT";
+    case TraceEventType::kReplicaTxnDone:
+      return "replica-done";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  return StrPrintf("%10s  n%-2u txn%-4llu %-16s o%-4llu %s",
+                   time.ToString().c_str(), node,
+                   (unsigned long long)txn,
+                   std::string(TraceEventTypeToString(type)).c_str(),
+                   (unsigned long long)oid, detail.c_str());
+}
+
+std::vector<TraceEvent> VectorTraceSink::OfType(TraceEventType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::string VectorTraceSink::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tdr

@@ -1,0 +1,75 @@
+#ifndef TDR_TXN_TRACE_H_
+#define TDR_TXN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/sim_time.h"
+
+namespace tdr {
+
+/// Protocol-level trace events emitted by the executor and the replica
+/// applier. Traces make the paper's protocol figures (1, 4, 5)
+/// reproducible as actual executions — see examples/protocol_traces —
+/// and give tests a window into ordering without poking at internals.
+enum class TraceEventType : std::uint8_t {
+  kTxnStart = 0,
+  kLockWait = 1,        // request queued behind a holder
+  kLockGrant = 2,       // queued request granted
+  kOpApply = 3,         // one action applied (buffered)
+  kTxnCommit = 4,
+  kTxnAbort = 5,        // deadlock victim or rejected
+  kReplicaTxnStart = 6, // replica-update transaction begins at a node
+  kReplicaApply = 7,    // one replica update installed
+  kReplicaStale = 8,    // newer-wins suppressed a stale update
+  kReplicaConflict = 9, // timestamp-match failed: reconciliation needed
+  kReplicaTxnDone = 10,
+};
+
+std::string_view TraceEventTypeToString(TraceEventType type);
+
+struct TraceEvent {
+  SimTime time;
+  TraceEventType type = TraceEventType::kTxnStart;
+  TxnId txn = kInvalidTxnId;
+  NodeId node = 0;
+  ObjectId oid = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Receives trace events. Implementations must not re-enter the
+/// component that emitted the event.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+/// Collects events in memory (tests, examples).
+class VectorTraceSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Events of one type, in order.
+  std::vector<TraceEvent> OfType(TraceEventType type) const;
+
+  /// Multi-line, time-ordered rendering (events are already emitted in
+  /// simulated-time order).
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_TRACE_H_

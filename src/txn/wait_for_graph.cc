@@ -1,0 +1,123 @@
+#include "txn/wait_for_graph.h"
+
+#include <algorithm>
+
+namespace tdr {
+
+void WaitForGraph::AddEdge(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return;  // self-waits are meaningless here
+  out_[waiter].insert(holder);
+  in_[holder].insert(waiter);
+}
+
+void WaitForGraph::RemoveEdge(TxnId waiter, TxnId holder) {
+  auto oit = out_.find(waiter);
+  if (oit != out_.end()) {
+    oit->second.erase(holder);
+    if (oit->second.empty()) out_.erase(oit);
+  }
+  auto iit = in_.find(holder);
+  if (iit != in_.end()) {
+    iit->second.erase(waiter);
+    if (iit->second.empty()) in_.erase(iit);
+  }
+}
+
+void WaitForGraph::RemoveTxn(TxnId txn) {
+  auto oit = out_.find(txn);
+  if (oit != out_.end()) {
+    for (TxnId holder : oit->second) {
+      auto iit = in_.find(holder);
+      if (iit != in_.end()) {
+        iit->second.erase(txn);
+        if (iit->second.empty()) in_.erase(iit);
+      }
+    }
+    out_.erase(oit);
+  }
+  auto iit = in_.find(txn);
+  if (iit != in_.end()) {
+    for (TxnId waiter : iit->second) {
+      auto o2 = out_.find(waiter);
+      if (o2 != out_.end()) {
+        o2->second.erase(txn);
+        if (o2->second.empty()) out_.erase(o2);
+      }
+    }
+    in_.erase(iit);
+  }
+}
+
+void WaitForGraph::ClearOutEdges(TxnId waiter) {
+  auto oit = out_.find(waiter);
+  if (oit == out_.end()) return;
+  for (TxnId holder : oit->second) {
+    auto iit = in_.find(holder);
+    if (iit != in_.end()) {
+      iit->second.erase(waiter);
+      if (iit->second.empty()) in_.erase(iit);
+    }
+  }
+  out_.erase(oit);
+}
+
+bool WaitForGraph::HasCycleFrom(TxnId start) const {
+  return !FindCycleFrom(start).empty();
+}
+
+std::vector<TxnId> WaitForGraph::FindCycleFrom(TxnId start) const {
+  // Iterative DFS recording the path; a return to `start` is a cycle.
+  std::vector<TxnId> path;
+  std::set<TxnId> visited;
+  // Stack of (node, next-edge iterator position expressed as index).
+  struct Frame {
+    TxnId node;
+    std::vector<TxnId> succ;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  auto successors = [this](TxnId t) -> std::vector<TxnId> {
+    auto it = out_.find(t);
+    if (it == out_.end()) return {};
+    return {it->second.begin(), it->second.end()};
+  };
+  stack.push_back({start, successors(start), 0});
+  visited.insert(start);
+  path.push_back(start);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next < top.succ.size()) {
+      TxnId next = top.succ[top.next++];
+      if (next == start) {
+        return path;  // cycle closed
+      }
+      if (visited.insert(next).second) {
+        stack.push_back({next, successors(next), 0});
+        path.push_back(next);
+      }
+    } else {
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+  return {};
+}
+
+std::size_t WaitForGraph::EdgeCount() const {
+  std::size_t n = 0;
+  for (const auto& [waiter, holders] : out_) n += holders.size();
+  return n;
+}
+
+bool WaitForGraph::HasEdge(TxnId waiter, TxnId holder) const {
+  auto it = out_.find(waiter);
+  return it != out_.end() && it->second.count(holder) > 0;
+}
+
+std::vector<TxnId> WaitForGraph::OutEdges(TxnId waiter) const {
+  auto it = out_.find(waiter);
+  if (it == out_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace tdr

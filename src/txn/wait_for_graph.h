@@ -1,0 +1,59 @@
+#ifndef TDR_TXN_WAIT_FOR_GRAPH_H_
+#define TDR_TXN_WAIT_FOR_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace tdr {
+
+/// Cluster-global transaction wait-for graph.
+///
+/// "A deadlock consists of a cycle of transactions waiting for one
+/// another" (§3). Every LockManager in a cluster registers its wait
+/// edges here, so cycles that span nodes — the common case under eager
+/// replication, where one transaction holds locks at N nodes — are
+/// detected. The model assumes instantaneous perfect detection, which a
+/// shared in-memory graph provides.
+class WaitForGraph {
+ public:
+  WaitForGraph() = default;
+
+  /// Adds a waiter -> holder edge. Parallel edges collapse (a waiter
+  /// blocked behind the same transaction at two nodes needs one edge).
+  void AddEdge(TxnId waiter, TxnId holder);
+
+  void RemoveEdge(TxnId waiter, TxnId holder);
+
+  /// Drops all edges from and to `txn` (commit/abort/grant cleanup).
+  void RemoveTxn(TxnId txn);
+
+  /// Clears every out-edge of `waiter` (its wait ended or changed).
+  void ClearOutEdges(TxnId waiter);
+
+  /// True if `start` can reach itself — i.e. adding its current edges
+  /// closed a cycle. Iterative DFS.
+  bool HasCycleFrom(TxnId start) const;
+
+  /// The cycle through `start` if one exists (start, t1, ..., tk) with
+  /// edges start->t1->...->tk->start; empty otherwise.
+  std::vector<TxnId> FindCycleFrom(TxnId start) const;
+
+  std::size_t EdgeCount() const;
+  bool HasEdge(TxnId waiter, TxnId holder) const;
+
+  /// Transactions `waiter` currently waits for.
+  std::vector<TxnId> OutEdges(TxnId waiter) const;
+
+ private:
+  // Ordered containers keep traversal order deterministic.
+  std::map<TxnId, std::set<TxnId>> out_;
+  std::map<TxnId, std::set<TxnId>> in_;  // reverse index for RemoveTxn
+};
+
+}  // namespace tdr
+
+#endif  // TDR_TXN_WAIT_FOR_GRAPH_H_

@@ -1,0 +1,82 @@
+#ifndef TDR_UTIL_RESULT_H_
+#define TDR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tdr {
+
+/// Result<T> holds either a value of type T or a non-OK Status — the
+/// StatusOr idiom. Accessing the value of an errored Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result
+  /// from an OK status is a bug; it is converted to an internal error so
+  /// the mistake is observable rather than silently empty.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;            // OK iff value_ is engaged
+  std::optional<T> value_;
+};
+
+/// Assigns the value of the Result expression `rexpr` to `lhs`, or
+/// early-returns its status from the enclosing function.
+#define TDR_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  TDR_ASSIGN_OR_RETURN_IMPL_(                       \
+      TDR_RESULT_CONCAT_(_tdr_result, __LINE__), lhs, rexpr)
+
+#define TDR_RESULT_CONCAT_INNER_(a, b) a##b
+#define TDR_RESULT_CONCAT_(a, b) TDR_RESULT_CONCAT_INNER_(a, b)
+#define TDR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace tdr
+
+#endif  // TDR_UTIL_RESULT_H_

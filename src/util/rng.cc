@@ -1,0 +1,140 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace tdr {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  // Standard PCG32 seeding sequence.
+  Next();
+  state_ += seed;
+  Next();
+}
+
+std::uint32_t Rng::Next() {
+  std::uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint64_t Rng::Next64() {
+  return (static_cast<std::uint64_t>(Next()) << 32) | Next();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  assert(bound > 0);
+  if (bound == 1) return 0;
+  // Unbiased rejection sampling (Lemire-style threshold on 64 bits).
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return (Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = UniformDouble();
+  // u in [0,1); 1-u in (0,1] so the log is finite.
+  return -mean * std::log(1.0 - u);
+}
+
+std::uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    double limit = std::exp(-mean);
+    double product = UniformDouble();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation, adequate for large means.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Box-Muller; guard u1 away from 0.
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double v = mean + std::sqrt(mean) * z;
+  return v < 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = UniformInt(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next64(), Next64() | 1); }
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  auto zeta = [theta](std::uint64_t count) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= count; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  };
+  zetan_ = zeta(n);
+  zeta2theta_ = zeta(2);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) {
+  double u = rng.UniformDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  double v = static_cast<double>(n_) *
+             std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t idx = static_cast<std::uint64_t>(v);
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+}  // namespace tdr

@@ -1,0 +1,90 @@
+#ifndef TDR_UTIL_RNG_H_
+#define TDR_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tdr {
+
+/// Deterministic pseudo-random number generator (PCG32, O'Neill 2014).
+///
+/// Every source of randomness in the simulator draws from an explicitly
+/// seeded Rng so simulation runs are reproducible bit-for-bit across
+/// platforms. Independent subsystems should use independent streams
+/// (distinct `stream` values under the same seed) so adding draws in one
+/// subsystem does not perturb another.
+class Rng {
+ public:
+  /// Seeds the generator. Distinct (seed, stream) pairs produce
+  /// statistically independent sequences.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 1);
+
+  /// Uniform 32-bit value.
+  std::uint32_t Next();
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses unbiased
+  /// rejection sampling.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// Poisson inter-arrival times in the workload generator.
+  double Exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (>= 0). Knuth's
+  /// multiplication method for small means, normal approximation above
+  /// 64 to stay O(1).
+  std::uint64_t Poisson(double mean);
+
+  /// Samples k distinct values uniformly from [0, n) without
+  /// replacement (Floyd's algorithm). Requires k <= n. The result is in
+  /// no particular order.
+  std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                      std::uint64_t k);
+
+  /// Returns a new generator carved from this one — convenient for
+  /// handing each simulated node its own stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Zipfian generator over [0, n) with skew parameter theta in (0, 1),
+/// following the standard Gray et al. / YCSB construction. theta -> 0 is
+/// uniform-ish; theta -> 1 is heavily skewed. The paper's base model is
+/// uniform (no hotspots); this exists for the hotspot ablation.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_UTIL_RNG_H_

@@ -1,0 +1,87 @@
+#ifndef TDR_UTIL_SIM_TIME_H_
+#define TDR_UTIL_SIM_TIME_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tdr {
+
+/// Simulated time, measured in integer microseconds since simulation
+/// start. Integer time keeps the event queue total order exact and
+/// platform-independent (doubles would make tie-breaking fragile).
+///
+/// SimTime is a strong typedef: it supports ordering, addition of
+/// durations, and conversion helpers, but will not silently mix with raw
+/// integers.
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime Millis(std::int64_t ms) {
+    return SimTime(ms * 1000);
+  }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  /// The largest representable time; used as an "infinitely far" horizon.
+  static constexpr SimTime Max() {
+    return SimTime(INT64_MAX);
+  }
+
+  constexpr std::int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return micros_ / 1e6; }
+
+  std::string ToString() const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6fs", seconds());
+    return buf;
+  }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.micros_ == b.micros_;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) {
+    return a.micros_ != b.micros_;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) {
+    return a.micros_ < b.micros_;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.micros_ <= b.micros_;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) {
+    return a.micros_ > b.micros_;
+  }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.micros_ >= b.micros_;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.micros_ - b.micros_);
+  }
+  SimTime& operator+=(SimTime d) {
+    micros_ += d.micros_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.micros_ * k);
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return a * k;
+  }
+
+ private:
+  std::int64_t micros_;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_UTIL_SIM_TIME_H_

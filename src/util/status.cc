@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+namespace tdr {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kConflict:
+      return "conflict";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kRejected:
+      return "rejected";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace tdr

@@ -1,0 +1,117 @@
+#ifndef TDR_UTIL_STATUS_H_
+#define TDR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tdr {
+
+/// Canonical error codes, a deliberately small subset of the usual
+/// RocksDB/absl palette — enough to distinguish the failure classes that
+/// arise in a replicated transaction system.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed a bad parameter
+  kNotFound = 2,          // object/node/transaction does not exist
+  kAlreadyExists = 3,     // duplicate registration
+  kFailedPrecondition = 4,// API called in the wrong state
+  kAborted = 5,           // transaction aborted (deadlock victim, etc.)
+  kConflict = 6,          // replica update conflict needing reconciliation
+  kUnavailable = 7,       // node disconnected / master unreachable
+  kRejected = 8,          // tentative transaction failed acceptance criteria
+  kOutOfRange = 9,        // index/time out of bounds
+  kInternal = 10,         // invariant violation inside the library
+};
+
+/// Returns the canonical lower-case name of `code` (e.g. "aborted").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Status describes the outcome of a fallible operation. Library code
+/// never throws on expected failure paths (deadlock aborts, replication
+/// conflicts, acceptance rejections are *normal* events in this domain);
+/// it returns Status / Result<T> instead.
+///
+/// The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK. The usual early-exit macro.
+#define TDR_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::tdr::Status _tdr_status = (expr);              \
+    if (!_tdr_status.ok()) return _tdr_status;       \
+  } while (false)
+
+}  // namespace tdr
+
+#endif  // TDR_UTIL_STATUS_H_

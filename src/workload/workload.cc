@@ -1,0 +1,124 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace tdr {
+
+ProgramGenerator::ProgramGenerator(Options options)
+    : options_(std::move(options)) {
+  assert(options_.db_size > 0);
+  assert(options_.actions > 0);
+  assert(!options_.distinct_objects ||
+         options_.actions <= options_.db_size);
+  double total = options_.mix.write + options_.mix.add +
+                 options_.mix.subtract + options_.mix.append +
+                 options_.mix.read;
+  assert(total > 0);
+  double cum = 0;
+  auto push = [&](OpType t, double w) {
+    if (w <= 0) return;
+    cum += w / total;
+    cdf_.emplace_back(t, cum);
+  };
+  push(OpType::kWrite, options_.mix.write);
+  push(OpType::kAdd, options_.mix.add);
+  push(OpType::kSubtract, options_.mix.subtract);
+  push(OpType::kAppend, options_.mix.append);
+  push(OpType::kRead, options_.mix.read);
+  cdf_.back().second = 1.0;  // guard against rounding
+  if (options_.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfianGenerator>(options_.db_size,
+                                               options_.zipf_theta);
+  }
+}
+
+OpType ProgramGenerator::PickType(Rng& rng) {
+  double u = rng.UniformDouble();
+  for (const auto& [type, cum] : cdf_) {
+    if (u <= cum) return type;
+  }
+  return cdf_.back().first;
+}
+
+ObjectId ProgramGenerator::PickObject(Rng& rng) {
+  if (zipf_ != nullptr) return zipf_->Next(rng);
+  return rng.UniformInt(options_.db_size);
+}
+
+Program ProgramGenerator::Next(Rng& rng) {
+  Program prog;
+  if (options_.distinct_objects && zipf_ == nullptr) {
+    // Uniform + distinct: sample without replacement.
+    std::vector<std::uint64_t> oids =
+        rng.SampleWithoutReplacement(options_.db_size, options_.actions);
+    for (std::uint64_t oid : oids) {
+      std::int64_t operand =
+          rng.UniformRange(options_.operand_lo, options_.operand_hi);
+      prog.Add(Op{PickType(rng), oid, operand});
+    }
+    return prog;
+  }
+  // Zipfian (or repeats allowed): rejection-sample distinctness.
+  std::vector<ObjectId> chosen;
+  for (std::uint32_t i = 0; i < options_.actions; ++i) {
+    ObjectId oid = PickObject(rng);
+    if (options_.distinct_objects) {
+      bool dup = false;
+      for (ObjectId c : chosen) {
+        if (c == oid) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) {
+        --i;
+        continue;
+      }
+      chosen.push_back(oid);
+    }
+    std::int64_t operand =
+        rng.UniformRange(options_.operand_lo, options_.operand_hi);
+    prog.Add(Op{PickType(rng), oid, operand});
+  }
+  return prog;
+}
+
+OpenLoopArrivals::OpenLoopArrivals(sim::Simulator* sim, Options options,
+                                   Rng rng, ArrivalCallback on_arrival)
+    : sim_(sim),
+      options_(options),
+      rng_(rng),
+      on_arrival_(std::move(on_arrival)) {
+  assert(options_.tps > 0);
+}
+
+OpenLoopArrivals::~OpenLoopArrivals() { Stop(); }
+
+void OpenLoopArrivals::Start() {
+  if (running_) return;
+  running_ = true;
+  ScheduleNext();
+}
+
+void OpenLoopArrivals::Stop() {
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+}
+
+void OpenLoopArrivals::ScheduleNext() {
+  double gap_seconds = options_.poisson
+                           ? rng_.Exponential(1.0 / options_.tps)
+                           : 1.0 / options_.tps;
+  pending_ = sim_->ScheduleAfter(SimTime::Seconds(gap_seconds), [this]() {
+    pending_ = sim::kInvalidEventId;
+    if (!running_) return;
+    ++arrivals_;
+    on_arrival_();
+    ScheduleNext();
+  });
+}
+
+}  // namespace tdr

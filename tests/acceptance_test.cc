@@ -1,0 +1,121 @@
+#include "core/acceptance.h"
+
+#include <gtest/gtest.h>
+
+namespace tdr {
+namespace {
+
+TxnResult WithFinalValue(ObjectId oid, std::int64_t value) {
+  TxnResult r;
+  UpdateRecord rec;
+  rec.oid = oid;
+  rec.new_value = Value(value);
+  r.updates.push_back(rec);
+  return r;
+}
+
+TEST(AcceptanceTest, FinalValueOfFindsRecord) {
+  TxnResult r = WithFinalValue(3, 42);
+  auto v = FinalValueOf(r, 3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->AsScalar(), 42);
+  EXPECT_FALSE(FinalValueOf(r, 4).has_value());
+}
+
+TEST(AcceptanceTest, AcceptAlwaysAccepts) {
+  TxnResult base, tentative;
+  EXPECT_TRUE(AcceptAlways()(base, tentative).accepted);
+}
+
+TEST(AcceptanceTest, ScalarAtLeastRejectsBelowFloor) {
+  // "The bank balance must not go negative."
+  auto crit = ScalarAtLeast(0, 0);
+  TxnResult tentative;
+  EXPECT_TRUE(crit(WithFinalValue(0, 100), tentative).accepted);
+  EXPECT_TRUE(crit(WithFinalValue(0, 0), tentative).accepted);
+  AcceptanceDecision d = crit(WithFinalValue(0, -1), tentative);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("below floor"), std::string::npos);
+}
+
+TEST(AcceptanceTest, ScalarAtLeastIgnoresUntouchedObject) {
+  auto crit = ScalarAtLeast(9, 0);
+  EXPECT_TRUE(crit(WithFinalValue(0, -5), TxnResult{}).accepted);
+}
+
+TEST(AcceptanceTest, NoWorseThanTentativeComparesQuotes) {
+  // "The price quote can not exceed the tentative quote."
+  auto crit = NoWorseThanTentative(2);
+  EXPECT_TRUE(
+      crit(WithFinalValue(2, 90), WithFinalValue(2, 100)).accepted);
+  EXPECT_TRUE(
+      crit(WithFinalValue(2, 100), WithFinalValue(2, 100)).accepted);
+  AcceptanceDecision d =
+      crit(WithFinalValue(2, 110), WithFinalValue(2, 100));
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("exceeds tentative"), std::string::npos);
+}
+
+TEST(AcceptanceTest, IdenticalReadsComparesOutputs) {
+  auto crit = IdenticalReads();
+  TxnResult base, tentative;
+  base.reads = {Value(1), Value(2)};
+  tentative.reads = {Value(1), Value(2)};
+  EXPECT_TRUE(crit(base, tentative).accepted);
+  tentative.reads[1] = Value(3);
+  AcceptanceDecision d = crit(base, tentative);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("read 1 differs"), std::string::npos);
+}
+
+TEST(AcceptanceTest, IdenticalReadsRejectsCountMismatch) {
+  auto crit = IdenticalReads();
+  TxnResult base, tentative;
+  base.reads = {Value(1)};
+  EXPECT_FALSE(crit(base, tentative).accepted);
+}
+
+TEST(AcceptanceTest, WithinPercentToleratesSmallDrift) {
+  auto crit = WithinPercentOfTentative(0, 10.0);
+  // Tentative quoted 100; base within +-10 is fine.
+  EXPECT_TRUE(
+      crit(WithFinalValue(0, 105), WithFinalValue(0, 100)).accepted);
+  EXPECT_TRUE(
+      crit(WithFinalValue(0, 90), WithFinalValue(0, 100)).accepted);
+  AcceptanceDecision d =
+      crit(WithFinalValue(0, 120), WithFinalValue(0, 100));
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("drifted"), std::string::npos);
+}
+
+TEST(AcceptanceTest, WithinPercentZeroTentativeRequiresExact) {
+  auto crit = WithinPercentOfTentative(0, 10.0);
+  EXPECT_TRUE(crit(WithFinalValue(0, 0), WithFinalValue(0, 0)).accepted);
+  EXPECT_FALSE(crit(WithFinalValue(0, 1), WithFinalValue(0, 0)).accepted);
+}
+
+TEST(AcceptanceTest, WithinPercentIgnoresUntouchedObjects) {
+  auto crit = WithinPercentOfTentative(7, 1.0);
+  EXPECT_TRUE(
+      crit(WithFinalValue(0, 999), WithFinalValue(0, 1)).accepted);
+}
+
+TEST(AcceptanceTest, BothRequiresBothToAccept) {
+  auto crit = Both(ScalarAtLeast(0, 0), NoWorseThanTentative(0));
+  // Balance fine AND no worse than tentative.
+  EXPECT_TRUE(
+      crit(WithFinalValue(0, 50), WithFinalValue(0, 60)).accepted);
+  // Negative balance: first criterion rejects.
+  AcceptanceDecision d1 =
+      crit(WithFinalValue(0, -5), WithFinalValue(0, 60));
+  EXPECT_FALSE(d1.accepted);
+  EXPECT_NE(d1.reason.find("below floor"), std::string::npos);
+  // Exceeds tentative: second rejects.
+  AcceptanceDecision d2 =
+      crit(WithFinalValue(0, 70), WithFinalValue(0, 60));
+  EXPECT_FALSE(d2.accepted);
+  EXPECT_NE(d2.reason.find("exceeds tentative"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,234 @@
+#include "analytic/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdr::analytic {
+namespace {
+
+ModelParams Base() {
+  ModelParams p;
+  p.db_size = 10000;
+  p.nodes = 1;
+  p.tps = 10;
+  p.actions = 4;
+  p.action_time = 0.01;
+  return p;
+}
+
+TEST(AnalyticTest, Eq1ConcurrentTransactions) {
+  // Transactions = TPS x Actions x Action_Time = 10 x 4 x 0.01 = 0.4.
+  EXPECT_DOUBLE_EQ(ConcurrentTransactions(Base()), 0.4);
+}
+
+TEST(AnalyticTest, Eq2WaitProbability) {
+  // PW = Transactions x Actions^2 / (2 DB) = 0.4 x 16 / 20000.
+  EXPECT_DOUBLE_EQ(SingleNodeWaitProbability(Base()), 0.4 * 16 / 20000.0);
+}
+
+TEST(AnalyticTest, Eq3DeadlockProbabilityIsPwSquaredOverTransactions) {
+  ModelParams p = Base();
+  double pw = SingleNodeWaitProbability(p);
+  double txns = ConcurrentTransactions(p);
+  EXPECT_NEAR(SingleNodeDeadlockProbability(p), pw * pw / txns, 1e-15);
+}
+
+TEST(AnalyticTest, Eq4PerTransactionDeadlockRate) {
+  // PD / (Actions x Action_Time) == TPS x Actions^4 / (4 DB^2).
+  ModelParams p = Base();
+  double expected =
+      p.tps * std::pow(p.actions, 4) / (4 * p.db_size * p.db_size);
+  EXPECT_NEAR(SingleNodeTxnDeadlockRate(p), expected, 1e-15);
+  EXPECT_NEAR(SingleNodeTxnDeadlockRate(p),
+              SingleNodeDeadlockProbability(p) /
+                  (p.actions * p.action_time),
+              1e-15);
+}
+
+TEST(AnalyticTest, Eq5NodeDeadlockRate) {
+  ModelParams p = Base();
+  EXPECT_NEAR(SingleNodeDeadlockRate(p),
+              SingleNodeTxnDeadlockRate(p) * ConcurrentTransactions(p),
+              1e-15);
+}
+
+TEST(AnalyticTest, Eq6EagerShape) {
+  ModelParams p = Base();
+  p.nodes = 5;
+  EXPECT_DOUBLE_EQ(EagerTransactionSize(p), 20);
+  EXPECT_DOUBLE_EQ(EagerTransactionDuration(p), 0.2);
+  EXPECT_DOUBLE_EQ(TotalTps(p), 50);
+}
+
+TEST(AnalyticTest, Eq7TotalTransactionsQuadratic) {
+  ModelParams p = Base();
+  p.nodes = 1;
+  double t1 = TotalTransactions(p);
+  p.nodes = 10;
+  EXPECT_NEAR(TotalTransactions(p) / t1, 100.0, 1e-9);
+}
+
+TEST(AnalyticTest, Eq8ActionRateQuadratic) {
+  // Figure 3: doubling the nodes (users) quadruples the aggregate
+  // update work.
+  ModelParams p = Base();
+  p.nodes = 1;
+  double r1 = ActionRate(p);
+  p.nodes = 2;
+  EXPECT_DOUBLE_EQ(ActionRate(p) / r1, 4.0);
+}
+
+TEST(AnalyticTest, Eq10EagerWaitRateCubicInNodes) {
+  ModelParams p = Base();
+  p.nodes = 1;
+  double r1 = EagerWaitRate(p);
+  p.nodes = 10;
+  EXPECT_NEAR(EagerWaitRate(p) / r1, 1000.0, 1e-6);
+}
+
+TEST(AnalyticTest, Eq12HeadlineTenFoldNodesThousandFoldDeadlocks) {
+  // "A ten-fold increase in nodes gives a thousand-fold increase in
+  // failed transactions (deadlocks)."
+  ModelParams p = Base();
+  p.nodes = 1;
+  double r1 = EagerDeadlockRate(p);
+  p.nodes = 10;
+  EXPECT_NEAR(EagerDeadlockRate(p) / r1, 1000.0, 1e-6);
+}
+
+TEST(AnalyticTest, Eq12FifthPowerInActions) {
+  // "A ten-fold increase in the transaction size increases the deadlock
+  // rate by a factor of 100,000."
+  ModelParams p = Base();
+  double r1 = EagerDeadlockRate(p);
+  p.actions = 40;
+  EXPECT_NEAR(EagerDeadlockRate(p) / r1, 100000.0, 1e-6);
+}
+
+TEST(AnalyticTest, Eq12ReducesToEq5AtOneNode) {
+  ModelParams p = Base();
+  p.nodes = 1;
+  EXPECT_NEAR(EagerDeadlockRate(p), SingleNodeDeadlockRate(p), 1e-18);
+}
+
+TEST(AnalyticTest, Eq13ScaledDbIsLinearInNodes) {
+  // "Now a ten-fold growth in the number of nodes creates only a
+  // ten-fold growth in the deadlock rate."
+  ModelParams p = Base();
+  p.nodes = 1;
+  double r1 = EagerDeadlockRateScaledDb(p);
+  p.nodes = 10;
+  EXPECT_NEAR(EagerDeadlockRateScaledDb(p) / r1, 10.0, 1e-9);
+}
+
+TEST(AnalyticTest, Eq13MatchesEq12WithSubstitutedDbSize) {
+  ModelParams p = Base();
+  p.nodes = 7;
+  ModelParams scaled = p;
+  scaled.db_size = p.db_size * p.nodes;
+  EXPECT_NEAR(EagerDeadlockRateScaledDb(p), EagerDeadlockRate(scaled),
+              1e-18);
+}
+
+TEST(AnalyticTest, Eq14EqualsEagerWaitRate) {
+  // "Transactions that would wait in an eager replication system face
+  // reconciliation in a lazy-group replication system."
+  ModelParams p = Base();
+  p.nodes = 6;
+  EXPECT_DOUBLE_EQ(LazyGroupReconciliationRate(p), EagerWaitRate(p));
+}
+
+TEST(AnalyticTest, Eq15To17MobileSets) {
+  ModelParams p = Base();
+  p.nodes = 5;
+  p.disconnected_time = 3600;  // one hour offline
+  EXPECT_DOUBLE_EQ(MobileOutboundUpdates(p), 3600 * 10 * 4);
+  EXPECT_DOUBLE_EQ(MobileInboundUpdates(p), 4 * 3600.0 * 10 * 4);
+  EXPECT_DOUBLE_EQ(
+      MobileCollisionProbability(p),
+      MobileInboundUpdates(p) * MobileOutboundUpdates(p) / p.db_size);
+}
+
+TEST(AnalyticTest, Eq18QuadraticInNodesAndDisconnectTime) {
+  ModelParams p = Base();
+  p.disconnected_time = 100;
+  p.nodes = 2;
+  double r2 = MobileReconciliationRate(p);
+  p.nodes = 20;
+  double r20 = MobileReconciliationRate(p);
+  // Exact Nodes(Nodes-1) form: ratio = (20*19)/(2*1) = 190.
+  EXPECT_NEAR(r20 / r2, 190.0, 1e-9);
+  // Linear in Disconnect_Time at fixed everything else.
+  p.disconnected_time = 200;
+  EXPECT_NEAR(MobileReconciliationRate(p) / r20, 2.0, 1e-9);
+}
+
+TEST(AnalyticTest, Eq18ZeroWhenNeverDisconnected) {
+  ModelParams p = Base();
+  p.disconnected_time = 0;
+  EXPECT_EQ(MobileReconciliationRate(p), 0.0);
+}
+
+TEST(AnalyticTest, Eq19LazyMasterQuadraticInNodes) {
+  ModelParams p = Base();
+  p.nodes = 1;
+  double r1 = LazyMasterDeadlockRate(p);
+  p.nodes = 10;
+  EXPECT_NEAR(LazyMasterDeadlockRate(p) / r1, 100.0, 1e-9);
+}
+
+TEST(AnalyticTest, Eq19BetterThanEq12BeyondOneNode) {
+  // "Lazy-master replication is slightly less deadlock prone than
+  // eager-group replication."
+  for (double n : {2.0, 5.0, 10.0, 100.0}) {
+    ModelParams p = Base();
+    p.nodes = n;
+    EXPECT_LT(LazyMasterDeadlockRate(p), EagerDeadlockRate(p))
+        << "nodes=" << n;
+  }
+}
+
+TEST(AnalyticTest, TwoTierBaseDeadlockMatchesLazyMaster) {
+  ModelParams p = Base();
+  p.nodes = 8;
+  EXPECT_DOUBLE_EQ(TwoTierBaseDeadlockRate(p), LazyMasterDeadlockRate(p));
+}
+
+TEST(AnalyticTest, TwoTierReconciliationZeroWhenAllCommute) {
+  // "The reconciliation rate for base transactions will be zero if all
+  // the transactions commute."
+  ModelParams p = Base();
+  p.nodes = 10;
+  p.disconnected_time = 3600;
+  EXPECT_EQ(TwoTierReconciliationRate(p, 0.0), 0.0);
+  EXPECT_GT(TwoTierReconciliationRate(p, 0.5), 0.0);
+  EXPECT_LT(TwoTierReconciliationRate(p, 0.5),
+            MobileReconciliationRate(p));
+  EXPECT_NEAR(TwoTierReconciliationRate(p, 1.0),
+              MobileReconciliationRate(p), 1e-9);
+}
+
+TEST(AnalyticTest, SweepNodesProducesMonotoneRows) {
+  auto rows = SweepNodes(Base(), {1, 2, 5, 10});
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].eager_deadlock_rate, rows[i - 1].eager_deadlock_rate);
+    EXPECT_GT(rows[i].lazy_group_reconciliation,
+              rows[i - 1].lazy_group_reconciliation);
+    EXPECT_GT(rows[i].lazy_master_deadlock,
+              rows[i - 1].lazy_master_deadlock);
+  }
+  // Headline check straight off the sweep: row(10)/row(1) = 1000.
+  EXPECT_NEAR(rows[3].eager_deadlock_rate / rows[0].eager_deadlock_rate,
+              1000.0, 1e-6);
+}
+
+TEST(AnalyticTest, ParamsToStringMentionsFields) {
+  std::string s = Base().ToString();
+  EXPECT_NE(s.find("db_size=10000"), std::string::npos);
+  EXPECT_NE(s.find("actions=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdr::analytic

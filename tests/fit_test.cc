@@ -1,0 +1,72 @@
+#include "analytic/fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdr::analytic {
+namespace {
+
+TEST(FitTest, ExactCubicRecovered) {
+  std::vector<std::pair<double, double>> xy;
+  for (double x : {1.0, 2.0, 5.0, 10.0}) {
+    xy.emplace_back(x, 0.25 * x * x * x);
+  }
+  PowerLawFit fit = FitPowerLaw(xy);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-12);
+  EXPECT_NEAR(std::exp(fit.log_constant), 0.25, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.points_used, 4);
+}
+
+TEST(FitTest, ExactLinearRecovered) {
+  std::vector<std::pair<double, double>> xy = {
+      {1, 7}, {2, 14}, {4, 28}, {8, 56}};
+  EXPECT_NEAR(FitPowerLawExponent(xy), 1.0, 1e-12);
+}
+
+TEST(FitTest, NonPositivePointsSkipped) {
+  std::vector<std::pair<double, double>> xy = {
+      {1, 0}, {0, 5}, {2, 8}, {4, 64}, {-3, 9}};
+  PowerLawFit fit = FitPowerLaw(xy);
+  EXPECT_EQ(fit.points_used, 2);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-12);
+}
+
+TEST(FitTest, TooFewPointsGivesZeroFit) {
+  EXPECT_EQ(FitPowerLawExponent({}), 0.0);
+  EXPECT_EQ(FitPowerLawExponent({{2, 5}}), 0.0);
+  EXPECT_EQ(FitPowerLawExponent({{0, 0}, {0, 1}}), 0.0);
+}
+
+TEST(FitTest, NoisyDataReportsImperfectR2) {
+  std::vector<std::pair<double, double>> xy = {
+      {1, 1.2}, {2, 3.5}, {4, 18.0}, {8, 70.0}};  // roughly quadratic
+  PowerLawFit fit = FitPowerLaw(xy);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.25);
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitTest, FlatLineFitsWithZeroExponent) {
+  std::vector<std::pair<double, double>> xy = {{1, 5}, {2, 5}, {4, 5}};
+  PowerLawFit fit = FitPowerLaw(xy);
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(GeometricMeanRatioTest, ExactOffsetRecovered) {
+  // Measured consistently 3x below the model.
+  std::vector<double> model = {3, 30, 300};
+  std::vector<double> measured = {1, 10, 100};
+  EXPECT_NEAR(GeometricMeanRatio(measured, model), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GeometricMeanRatioTest, SkipsNonPositiveAndHandlesEmpty) {
+  EXPECT_EQ(GeometricMeanRatio({}, {}), 0.0);
+  EXPECT_EQ(GeometricMeanRatio({0, 0}, {1, 2}), 0.0);
+  EXPECT_NEAR(GeometricMeanRatio({0, 4}, {1, 2}), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tdr::analytic

@@ -1,0 +1,160 @@
+#include "txn/op.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/program.h"
+
+namespace tdr {
+namespace {
+
+TEST(OpTest, ApplySemantics) {
+  Value v(10);
+  Op::Read(0).ApplyTo(&v);
+  EXPECT_EQ(v.AsScalar(), 10);  // reads do not mutate
+  Op::Add(0, 5).ApplyTo(&v);
+  EXPECT_EQ(v.AsScalar(), 15);
+  Op::Subtract(0, 3).ApplyTo(&v);
+  EXPECT_EQ(v.AsScalar(), 12);
+  Op::Multiply(0, 2).ApplyTo(&v);
+  EXPECT_EQ(v.AsScalar(), 24);
+  Op::Write(0, 100).ApplyTo(&v);
+  EXPECT_EQ(v.AsScalar(), 100);
+}
+
+TEST(OpTest, ApplyAppend) {
+  Value v(Value::List{});
+  Op::Append(0, 4).ApplyTo(&v);
+  Op::Append(0, 2).ApplyTo(&v);
+  EXPECT_EQ(v.AsList(), (Value::List{2, 4}));
+}
+
+TEST(OpTest, IsWrite) {
+  EXPECT_FALSE(Op::Read(0).IsWrite());
+  EXPECT_TRUE(Op::Write(0, 1).IsWrite());
+  EXPECT_TRUE(Op::Add(0, 1).IsWrite());
+  EXPECT_TRUE(Op::Subtract(0, 1).IsWrite());
+  EXPECT_TRUE(Op::Append(0, 1).IsWrite());
+  EXPECT_TRUE(Op::Multiply(0, 1).IsWrite());
+}
+
+TEST(OpTest, IsCommutativeClassification) {
+  EXPECT_TRUE(Op::Add(0, 1).IsCommutative());
+  EXPECT_TRUE(Op::Subtract(0, 1).IsCommutative());
+  EXPECT_TRUE(Op::Append(0, 1).IsCommutative());
+  EXPECT_TRUE(Op::Read(0).IsCommutative());
+  EXPECT_FALSE(Op::Write(0, 1).IsCommutative());
+  EXPECT_FALSE(Op::Multiply(0, 2).IsCommutative());
+}
+
+TEST(OpsCommuteTest, DifferentObjectsAlwaysCommute) {
+  EXPECT_TRUE(OpsCommute(Op::Write(0, 1), Op::Write(1, 2)));
+  EXPECT_TRUE(OpsCommute(Op::Read(0), Op::Write(1, 2)));
+}
+
+TEST(OpsCommuteTest, AdditiveGroupCommutes) {
+  EXPECT_TRUE(OpsCommute(Op::Add(0, 1), Op::Add(0, 2)));
+  EXPECT_TRUE(OpsCommute(Op::Add(0, 1), Op::Subtract(0, 2)));
+  EXPECT_TRUE(OpsCommute(Op::Subtract(0, 1), Op::Subtract(0, 2)));
+}
+
+TEST(OpsCommuteTest, AppendsCommute) {
+  EXPECT_TRUE(OpsCommute(Op::Append(0, 1), Op::Append(0, 2)));
+}
+
+TEST(OpsCommuteTest, MultipliesCommuteWithEachOther) {
+  EXPECT_TRUE(OpsCommute(Op::Multiply(0, 2), Op::Multiply(0, 3)));
+  EXPECT_FALSE(OpsCommute(Op::Multiply(0, 2), Op::Add(0, 3)));
+}
+
+TEST(OpsCommuteTest, BlindWritesDoNotCommute) {
+  EXPECT_FALSE(OpsCommute(Op::Write(0, 1), Op::Write(0, 2)));
+  EXPECT_FALSE(OpsCommute(Op::Write(0, 1), Op::Add(0, 2)));
+}
+
+TEST(OpsCommuteTest, ReadsCommuteOnlyWithReads) {
+  EXPECT_TRUE(OpsCommute(Op::Read(0), Op::Read(0)));
+  EXPECT_FALSE(OpsCommute(Op::Read(0), Op::Write(0, 1)));
+  EXPECT_FALSE(OpsCommute(Op::Add(0, 1), Op::Read(0)));
+}
+
+TEST(OpsCommuteTest, CommutePropertyHoldsSemantically) {
+  // Property check: whenever OpsCommute says true for two write ops,
+  // applying them in either order must give the same value.
+  std::vector<Op> ops = {
+      Op::Write(0, 5), Op::Add(0, 3),      Op::Subtract(0, 2),
+      Op::Append(0, 7), Op::Multiply(0, 2), Op::Add(0, -4),
+      Op::Append(0, 1),
+  };
+  for (const Op& a : ops) {
+    for (const Op& b : ops) {
+      if (!OpsCommute(a, b)) continue;
+      for (std::int64_t start : {0, 10, -3}) {
+        Value v1(start), v2(start);
+        a.ApplyTo(&v1);
+        b.ApplyTo(&v1);
+        b.ApplyTo(&v2);
+        a.ApplyTo(&v2);
+        EXPECT_EQ(v1, v2) << a.ToString() << " vs " << b.ToString()
+                          << " from " << start;
+      }
+    }
+  }
+}
+
+TEST(ProgramTest, ObjectsAndWriteSet) {
+  Program p({Op::Read(5), Op::Write(2, 1), Op::Add(5, 1), Op::Read(7)});
+  EXPECT_EQ(p.Objects(), (std::vector<ObjectId>{2, 5, 7}));
+  EXPECT_EQ(p.WriteSet(), (std::vector<ObjectId>{2, 5}));
+  EXPECT_EQ(p.WriteActionCount(), 2u);
+}
+
+TEST(ProgramTest, IsFullyCommutative) {
+  EXPECT_TRUE(Program({Op::Add(0, 1), Op::Subtract(1, 2), Op::Append(2, 3)})
+                  .IsFullyCommutative());
+  EXPECT_FALSE(Program({Op::Add(0, 1), Op::Write(1, 2)})
+                   .IsFullyCommutative());
+  EXPECT_FALSE(Program({Op::Read(0)}).IsFullyCommutative());
+  EXPECT_TRUE(Program().IsFullyCommutative());
+}
+
+TEST(ProgramTest, CommutesWithPairwise) {
+  Program debit({Op::Subtract(0, 50)});
+  Program credit({Op::Add(0, 20)});
+  Program write({Op::Write(0, 100)});
+  EXPECT_TRUE(debit.CommutesWith(credit));
+  EXPECT_FALSE(debit.CommutesWith(write));
+  Program other_obj({Op::Write(1, 5)});
+  EXPECT_TRUE(write.CommutesWith(other_obj));
+}
+
+TEST(ProgramTest, FullyCommutativeProgramsCommuteSemantically) {
+  // Two fully-commutative programs produce the same final state in
+  // either execution order.
+  Program p1({Op::Add(0, 5), Op::Append(1, 3), Op::Subtract(2, 2)});
+  Program p2({Op::Subtract(0, 1), Op::Append(1, 9), Op::Add(2, 7)});
+  ASSERT_TRUE(p1.CommutesWith(p2));
+  std::map<ObjectId, Value> s12, s21;
+  EvaluateProgram(p1, &s12);
+  EvaluateProgram(p2, &s12);
+  EvaluateProgram(p2, &s21);
+  EvaluateProgram(p1, &s21);
+  EXPECT_EQ(s12, s21);
+}
+
+TEST(ProgramTest, EvaluateReturnsReadsInOrder) {
+  Program p({Op::Write(0, 3), Op::Read(0), Op::Add(0, 2), Op::Read(0)});
+  std::map<ObjectId, Value> state;
+  auto reads = EvaluateProgram(p, &state);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].AsScalar(), 3);
+  EXPECT_EQ(reads[1].AsScalar(), 5);
+  EXPECT_EQ(state[0].AsScalar(), 5);
+}
+
+TEST(ProgramTest, ToStringReadable) {
+  Program p({Op::Subtract(3, 50)});
+  EXPECT_EQ(p.ToString(), "[sub(o3,50)]");
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,50 @@
+#include "replication/ownership.h"
+
+#include <gtest/gtest.h>
+
+namespace tdr {
+namespace {
+
+TEST(OwnershipTest, RoundRobinBalances) {
+  Ownership own = Ownership::RoundRobin(10, {0, 1, 2});
+  EXPECT_EQ(own.db_size(), 10u);
+  EXPECT_EQ(own.OwnerOf(0), 0u);
+  EXPECT_EQ(own.OwnerOf(1), 1u);
+  EXPECT_EQ(own.OwnerOf(2), 2u);
+  EXPECT_EQ(own.OwnerOf(3), 0u);
+  EXPECT_EQ(own.DistinctOwners(), 3u);
+  // Balanced within one.
+  auto n0 = own.ObjectsOwnedBy(0).size();
+  auto n1 = own.ObjectsOwnedBy(1).size();
+  auto n2 = own.ObjectsOwnedBy(2).size();
+  EXPECT_EQ(n0 + n1 + n2, 10u);
+  EXPECT_LE(n0 - n2, 1u);
+}
+
+TEST(OwnershipTest, SingleMaster) {
+  Ownership own = Ownership::SingleMaster(5, 3);
+  for (ObjectId oid = 0; oid < 5; ++oid) {
+    EXPECT_EQ(own.OwnerOf(oid), 3u);
+  }
+  EXPECT_EQ(own.DistinctOwners(), 1u);
+  EXPECT_EQ(own.ObjectsOwnedBy(3).size(), 5u);
+  EXPECT_TRUE(own.ObjectsOwnedBy(0).empty());
+}
+
+TEST(OwnershipTest, SetOwnerRemasters) {
+  Ownership own = Ownership::SingleMaster(4, 0);
+  own.SetOwner(2, 7);
+  EXPECT_EQ(own.OwnerOf(2), 7u);
+  EXPECT_EQ(own.OwnerOf(1), 0u);
+  EXPECT_EQ(own.DistinctOwners(), 2u);
+  EXPECT_EQ(own.ObjectsOwnedBy(7), (std::vector<ObjectId>{2}));
+}
+
+TEST(OwnershipTest, ObjectsOwnedBySorted) {
+  Ownership own = Ownership::RoundRobin(9, {1, 0});
+  EXPECT_EQ(own.ObjectsOwnedBy(1), (std::vector<ObjectId>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(own.ObjectsOwnedBy(0), (std::vector<ObjectId>{1, 3, 5, 7}));
+}
+
+}  // namespace
+}  // namespace tdr

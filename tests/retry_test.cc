@@ -1,0 +1,138 @@
+#include "replication/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "replication/eager.h"
+
+namespace tdr {
+namespace {
+
+Cluster::Options SmallOptions() {
+  Cluster::Options o;
+  o.num_nodes = 1;
+  o.db_size = 8;
+  o.action_time = SimTime::Millis(10);
+  return o;
+}
+
+TEST(RetryTest, SuccessPassesThroughWithoutRetry) {
+  Cluster cluster(SmallOptions());
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter retry(&cluster, &scheme, {});
+  std::optional<TxnResult> result;
+  retry.Submit(0, Program({Op::Add(0, 1)}),
+               [&](const TxnResult& r) { result = r; });
+  cluster.sim().Run();
+  EXPECT_EQ(result->outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(retry.retries(), 0u);
+}
+
+TEST(RetryTest, DeadlockVictimRetriesToSuccess) {
+  Cluster cluster(SmallOptions());
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter retry(&cluster, &scheme, {});
+  std::optional<TxnResult> r1, r2;
+  // Classic A/B cross: T2 is the victim, then retries after T1 commits.
+  scheme.Submit(0, Program({Op::Write(0, 1), Op::Write(1, 1)}),
+                [&](const TxnResult& r) { r1 = r; });
+  cluster.sim().ScheduleAt(SimTime::Millis(1), [&] {
+    retry.Submit(0, Program({Op::Write(1, 2), Op::Write(0, 2)}),
+                 [&](const TxnResult& r) { r2 = r; });
+  });
+  cluster.sim().Run();
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(r2->outcome, TxnOutcome::kCommitted);  // retried to success
+  EXPECT_EQ(retry.retries(), 1u);
+  EXPECT_EQ(cluster.counters().Get("retry.resubmitted"), 1u);
+  // Both transactions' effects present: T2 overwrote T1.
+  EXPECT_EQ(cluster.node(0)->store().GetUnchecked(0).value.AsScalar(), 2);
+  EXPECT_EQ(cluster.node(0)->store().GetUnchecked(1).value.AsScalar(), 2);
+}
+
+TEST(RetryTest, GivesUpAfterMaxRetries) {
+  // Force repeated deadlocks: a long-running transaction holds A then
+  // B; the retrier keeps colliding in the opposite order with tiny
+  // backoff while fresh conflicting pairs are injected. Simplest
+  // deterministic construction: cap retries at 0 so the first deadlock
+  // is final.
+  Cluster cluster(SmallOptions());
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter::Options opts;
+  opts.max_retries = 0;
+  RetryingSubmitter retry(&cluster, &scheme, opts);
+  std::optional<TxnResult> r2;
+  scheme.Submit(0, Program({Op::Write(0, 1), Op::Write(1, 1)}), nullptr);
+  cluster.sim().ScheduleAt(SimTime::Millis(1), [&] {
+    retry.Submit(0, Program({Op::Write(1, 2), Op::Write(0, 2)}),
+                 [&](const TxnResult& r) { r2 = r; });
+  });
+  cluster.sim().Run();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->outcome, TxnOutcome::kDeadlock);
+  EXPECT_EQ(retry.gave_up(), 1u);
+  EXPECT_EQ(cluster.counters().Get("retry.gave_up"), 1u);
+}
+
+TEST(RetryTest, UnavailablePassesThroughWithoutRetry) {
+  Cluster::Options copts = SmallOptions();
+  copts.num_nodes = 2;
+  Cluster cluster(copts);
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter retry(&cluster, &scheme, {});
+  cluster.net().SetConnected(1, false);
+  std::optional<TxnResult> result;
+  retry.Submit(0, Program({Op::Add(0, 1)}),
+               [&](const TxnResult& r) { result = r; });
+  cluster.sim().Run();
+  EXPECT_EQ(result->outcome, TxnOutcome::kUnavailable);
+  EXPECT_EQ(retry.retries(), 0u);
+}
+
+TEST(RetryTest, NullDoneCallbackIsFine) {
+  Cluster cluster(SmallOptions());
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter retry(&cluster, &scheme, {});
+  retry.Submit(0, Program({Op::Add(0, 3)}), nullptr);
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.node(0)->store().GetUnchecked(0).value.AsScalar(), 3);
+}
+
+TEST(RetryTest, ContentionStormFullyDrainsWithRetries) {
+  // Many conflicting write pairs; with retries everything eventually
+  // commits and no work is lost.
+  Cluster::Options copts = SmallOptions();
+  copts.db_size = 4;
+  Cluster cluster(copts);
+  EagerGroupScheme scheme(&cluster);
+  RetryingSubmitter retry(&cluster, &scheme, {});
+  int committed = 0;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    ObjectId a = rng.UniformInt(4);
+    ObjectId b = (a + 1 + rng.UniformInt(3)) % 4;
+    cluster.sim().ScheduleAt(
+        SimTime::Millis(static_cast<std::int64_t>(rng.UniformInt(50))),
+        [&, a, b] {
+          retry.Submit(0, Program({Op::Add(a, 1), Op::Add(b, 1)}),
+                       [&](const TxnResult& r) {
+                         if (r.outcome == TxnOutcome::kCommitted) {
+                           ++committed;
+                         }
+                       });
+        });
+  }
+  cluster.sim().Run();
+  EXPECT_EQ(committed, 40);
+  std::int64_t total = 0;
+  for (ObjectId oid = 0; oid < 4; ++oid) {
+    total += cluster.node(0)->store().GetUnchecked(oid).value.AsScalar();
+  }
+  EXPECT_EQ(total, 80);  // every increment survived
+  EXPECT_EQ(retry.gave_up(), 0u);
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,214 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tdr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(4242);
+  const std::uint64_t kBuckets = 10;
+  const int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(kBuckets)];
+  }
+  double expected = static_cast<double>(kSamples) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.Exponential(2.5);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmall) {
+  Rng rng(19);
+  double sum = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Poisson(3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLarge) {
+  Rng rng(23);
+  double sum = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Poisson(200.0);
+  EXPECT_NEAR(sum / kSamples, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(29);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(50, 10);
+    EXPECT_EQ(sample.size(), 10u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (std::uint64_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  // Every element should be selected with probability k/n.
+  Rng rng(41);
+  const std::uint64_t n = 20, k = 5;
+  const int kTrials = 40000;
+  std::vector<int> counts(n, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : rng.SampleWithoutReplacement(n, k)) ++counts[v];
+  }
+  double expected = kTrials * static_cast<double>(k) / n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], expected, expected * 0.1) << "element " << i;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfianTest, ValuesInRange) {
+  Rng rng(61);
+  ZipfianGenerator zipf(100, 0.9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfianTest, SkewFavorsSmallIds) {
+  Rng rng(67);
+  ZipfianGenerator zipf(1000, 0.99);
+  int low = 0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 10) ++low;
+  }
+  // Under uniform access P(id < 10) = 1%; heavy skew should be far more.
+  EXPECT_GT(low / static_cast<double>(kSamples), 0.2);
+}
+
+TEST(ZipfianTest, LowThetaApproachesUniform) {
+  Rng rng(71);
+  ZipfianGenerator zipf(1000, 0.01);
+  int low = 0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 100) ++low;
+  }
+  double frac = low / static_cast<double>(kSamples);
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.35);
+}
+
+}  // namespace
+}  // namespace tdr

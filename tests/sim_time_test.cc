@@ -1,0 +1,54 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace tdr {
+namespace {
+
+TEST(SimTimeTest, ZeroDefault) {
+  SimTime t;
+  EXPECT_EQ(t.micros(), 0);
+  EXPECT_EQ(t, SimTime::Zero());
+}
+
+TEST(SimTimeTest, Constructors) {
+  EXPECT_EQ(SimTime::Micros(1500).micros(), 1500);
+  EXPECT_EQ(SimTime::Millis(2).micros(), 2000);
+  EXPECT_EQ(SimTime::Seconds(1.5).micros(), 1500000);
+  EXPECT_EQ(SimTime::Seconds(-1.5).micros(), -1500000);
+}
+
+TEST(SimTimeTest, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::Seconds(0.25).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(SimTime::Micros(1).seconds(), 1e-6);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::Millis(1), SimTime::Millis(2));
+  EXPECT_LE(SimTime::Millis(2), SimTime::Millis(2));
+  EXPECT_GT(SimTime::Seconds(1), SimTime::Millis(999));
+  EXPECT_GE(SimTime::Zero(), SimTime::Zero());
+  EXPECT_NE(SimTime::Micros(1), SimTime::Zero());
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Millis(3);
+  SimTime b = SimTime::Millis(2);
+  EXPECT_EQ((a + b).micros(), 5000);
+  EXPECT_EQ((a - b).micros(), 1000);
+  a += b;
+  EXPECT_EQ(a, SimTime::Millis(5));
+  EXPECT_EQ((b * 3).micros(), 6000);
+  EXPECT_EQ((3 * b).micros(), 6000);
+}
+
+TEST(SimTimeTest, MaxActsAsHorizon) {
+  EXPECT_GT(SimTime::Max(), SimTime::Seconds(1e12));
+}
+
+TEST(SimTimeTest, ToStringFormatsSeconds) {
+  EXPECT_EQ(SimTime::Seconds(1.25).ToString(), "1.250000s");
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,155 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdr {
+namespace {
+
+TEST(OnlineStatsTest, EmptyStats) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombined) {
+  OnlineStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.7 - 3;
+    a.Add(x);
+    combined.Add(x);
+  }
+  for (int i = 0; i < 70; ++i) {
+    double x = i * 1.3 + 11;
+    b.Add(x);
+    combined.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStatsTest, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 5);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (std::uint64_t v : {1, 2, 3, 4, 5}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 5u);
+  // Small values land in exact unit buckets.
+  EXPECT_NEAR(h.Median(), 3.0, 1.0);
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.Add(i);
+  double p10 = h.Percentile(10);
+  double p50 = h.Percentile(50);
+  double p90 = h.Percentile(90);
+  double p99 = h.Percentile(99);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p90);
+  // Coarse upper buckets may clamp both to max; monotonicity must hold.
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 500, 120);  // bucketed approximation
+}
+
+TEST(HistogramTest, LargeValuesClampedIntoTopBucket) {
+  Histogram h;
+  h.Add(1ULL << 61);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 1ULL << 61);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  for (std::uint64_t i = 0; i < 100; ++i) a.Add(i);
+  for (std::uint64_t i = 100; i < 300; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 300u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 299u);
+}
+
+TEST(CounterRegistryTest, IncrementAndGet) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.Get("x"), 0u);
+  reg.Increment("x");
+  reg.Increment("x", 4);
+  EXPECT_EQ(reg.Get("x"), 5u);
+  EXPECT_EQ(reg.Get("y"), 0u);
+}
+
+TEST(CounterRegistryTest, SnapshotSorted) {
+  CounterRegistry reg;
+  reg.Increment("zeta");
+  reg.Increment("alpha", 2);
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "zeta");
+}
+
+TEST(CounterRegistryTest, Reset) {
+  CounterRegistry reg;
+  reg.Increment("a");
+  reg.Reset();
+  EXPECT_EQ(reg.Get("a"), 0u);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,114 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace tdr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Conflict("x").code(), StatusCode::kConflict);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Rejected("x").code(), StatusCode::kRejected);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Aborted("deadlock").message(), "deadlock");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Rejected("x").IsRejected());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::OK().IsAborted());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::Conflict("timestamp mismatch");
+  EXPECT_EQ(s.ToString(), "conflict: timestamp mismatch");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("a"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Conflict("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    TDR_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPassesOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    TDR_RETURN_IF_ERROR(succeeds());
+    return Status::Aborted("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsAborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto fetch = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Unavailable("offline");
+  };
+  auto use = [&](bool ok) -> Status {
+    int x = 0;
+    TDR_ASSIGN_OR_RETURN(x, fetch(ok));
+    EXPECT_EQ(x, 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_TRUE(use(false).IsUnavailable());
+}
+
+}  // namespace
+}  // namespace tdr

@@ -1,0 +1,74 @@
+#include "storage/types.h"
+
+#include <gtest/gtest.h>
+
+namespace tdr {
+namespace {
+
+TEST(ValueTest, DefaultIsScalarZero) {
+  Value v;
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_EQ(v.AsScalar(), 0);
+}
+
+TEST(ValueTest, ScalarRoundTrip) {
+  Value v(42);
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_EQ(v.AsScalar(), 42);
+  v.SetScalar(-17);
+  EXPECT_EQ(v.AsScalar(), -17);
+}
+
+TEST(ValueTest, ListConstruction) {
+  Value v(Value::List{3, 1, 2});
+  EXPECT_TRUE(v.is_list());
+  EXPECT_EQ(v.AsList().size(), 3u);
+  EXPECT_EQ(v.AsScalar(), 3);  // lists read as their size
+}
+
+TEST(ValueTest, AppendKeepsSortedOrder) {
+  Value v(Value::List{});
+  v.Append(5);
+  v.Append(1);
+  v.Append(3);
+  EXPECT_EQ(v.AsList(), (Value::List{1, 3, 5}));
+}
+
+TEST(ValueTest, AppendCommutes) {
+  // Any interleaving of the same appends yields the same list — the §6
+  // property that makes timestamped append safe under lazy replication.
+  Value a(Value::List{});
+  Value b(Value::List{});
+  for (int x : {9, 2, 7, 2, 5}) a.Append(x);
+  for (int x : {5, 2, 2, 7, 9}) b.Append(x);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, AppendPromotesScalar) {
+  Value v(10);
+  v.Append(4);
+  EXPECT_TRUE(v.is_list());
+  EXPECT_EQ(v.AsList(), (Value::List{4, 10}));
+}
+
+TEST(ValueTest, AppendPromotesZeroScalarToEmptyBase) {
+  Value v;  // scalar 0
+  v.Append(6);
+  EXPECT_EQ(v.AsList(), (Value::List{6}));
+}
+
+TEST(ValueTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(0), Value(Value::List{}));
+  EXPECT_EQ(Value(Value::List{1, 2}), Value(Value::List{1, 2}));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value(Value::List{1, 2, 3}).ToString(), "[1,2,3]");
+  EXPECT_EQ(Value(Value::List{}).ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace tdr

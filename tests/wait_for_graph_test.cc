@@ -1,0 +1,137 @@
+#include "txn/wait_for_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace tdr {
+namespace {
+
+TEST(WaitForGraphTest, EmptyGraphHasNoCycles) {
+  WaitForGraph g;
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(WaitForGraphTest, AddAndRemoveEdge) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  g.RemoveEdge(1, 2);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(WaitForGraphTest, SelfEdgesIgnored) {
+  WaitForGraph g;
+  g.AddEdge(3, 3);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_FALSE(g.HasCycleFrom(3));
+}
+
+TEST(WaitForGraphTest, ParallelEdgesCollapse) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(WaitForGraphTest, TwoCycleDetected) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  g.AddEdge(2, 1);
+  EXPECT_TRUE(g.HasCycleFrom(1));
+  EXPECT_TRUE(g.HasCycleFrom(2));
+}
+
+TEST(WaitForGraphTest, LongCycleDetected) {
+  WaitForGraph g;
+  // 1 -> 2 -> 3 -> 4 -> 5 -> 1
+  for (TxnId t = 1; t < 5; ++t) g.AddEdge(t, t + 1);
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  g.AddEdge(5, 1);
+  for (TxnId t = 1; t <= 5; ++t) {
+    EXPECT_TRUE(g.HasCycleFrom(t)) << "from " << t;
+  }
+}
+
+TEST(WaitForGraphTest, CycleNotThroughStartNotReported) {
+  // 1 -> 2, and 3 <-> 4 form a cycle that does not involve 1.
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_TRUE(g.HasCycleFrom(3));
+}
+
+TEST(WaitForGraphTest, FindCycleReturnsPath) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  auto cycle = g.FindCycleFrom(1);
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle[0], 1u);
+  EXPECT_EQ(cycle[1], 2u);
+  EXPECT_EQ(cycle[2], 3u);
+}
+
+TEST(WaitForGraphTest, DiamondNoFalseCycle) {
+  // 1 -> {2,3} -> 4: converging paths but no cycle.
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_FALSE(g.HasCycleFrom(2));
+}
+
+TEST(WaitForGraphTest, RemoveTxnClearsBothDirections) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  g.RemoveTxn(2);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(WaitForGraphTest, ClearOutEdgesKeepsInEdges) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(4, 1);
+  g.ClearOutEdges(1);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(4, 1));
+}
+
+TEST(WaitForGraphTest, OutEdgesSorted) {
+  WaitForGraph g;
+  g.AddEdge(1, 9);
+  g.AddEdge(1, 3);
+  EXPECT_EQ(g.OutEdges(1), (std::vector<TxnId>{3, 9}));
+  EXPECT_TRUE(g.OutEdges(7).empty());
+}
+
+TEST(WaitForGraphTest, LargeRandomAcyclicGraphStaysAcyclic) {
+  // Edges only from lower to higher ids can never form a cycle.
+  WaitForGraph g;
+  for (TxnId a = 1; a <= 50; ++a) {
+    for (TxnId b = a + 1; b <= 50; b += (a % 3) + 1) {
+      g.AddEdge(a, b);
+    }
+  }
+  for (TxnId t = 1; t <= 50; ++t) {
+    EXPECT_FALSE(g.HasCycleFrom(t));
+  }
+}
+
+}  // namespace
+}  // namespace tdr
