@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eager_scaling.dir/bench_eager_scaling.cc.o"
+  "CMakeFiles/bench_eager_scaling.dir/bench_eager_scaling.cc.o.d"
+  "bench_eager_scaling"
+  "bench_eager_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eager_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

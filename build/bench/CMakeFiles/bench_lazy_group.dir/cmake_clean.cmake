@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_group.dir/bench_lazy_group.cc.o"
+  "CMakeFiles/bench_lazy_group.dir/bench_lazy_group.cc.o.d"
+  "bench_lazy_group"
+  "bench_lazy_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_master.dir/bench_lazy_master.cc.o"
+  "CMakeFiles/bench_lazy_master.dir/bench_lazy_master.cc.o.d"
+  "bench_lazy_master"
+  "bench_lazy_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mobile_disconnect.dir/bench_mobile_disconnect.cc.o"
+  "CMakeFiles/bench_mobile_disconnect.dir/bench_mobile_disconnect.cc.o.d"
+  "bench_mobile_disconnect"
+  "bench_mobile_disconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mobile_disconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaled_db.dir/bench_scaled_db.cc.o"
+  "CMakeFiles/bench_scaled_db.dir/bench_scaled_db.cc.o.d"
+  "bench_scaled_db"
+  "bench_scaled_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaled_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaleup_modes.dir/bench_scaleup_modes.cc.o"
+  "CMakeFiles/bench_scaleup_modes.dir/bench_scaleup_modes.cc.o.d"
+  "bench_scaleup_modes"
+  "bench_scaleup_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleup_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_tier.dir/bench_two_tier.cc.o"
+  "CMakeFiles/bench_two_tier.dir/bench_two_tier.cc.o.d"
+  "bench_two_tier"
+  "bench_two_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_work_growth.dir/bench_work_growth.cc.o"
+  "CMakeFiles/bench_work_growth.dir/bench_work_growth.cc.o.d"
+  "bench_work_growth"
+  "bench_work_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_work_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

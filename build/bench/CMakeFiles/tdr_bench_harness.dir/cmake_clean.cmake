@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/tdr_bench_harness.dir/harness.cc.o.d"
+  "libtdr_bench_harness.a"
+  "libtdr_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdr_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkbook.dir/checkbook.cc.o"
+  "CMakeFiles/checkbook.dir/checkbook.cc.o.d"
+  "checkbook"
+  "checkbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_day.dir/disconnected_day.cc.o"
+  "CMakeFiles/disconnected_day.dir/disconnected_day.cc.o.d"
+  "disconnected_day"
+  "disconnected_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_sales.dir/mobile_sales.cc.o"
+  "CMakeFiles/mobile_sales.dir/mobile_sales.cc.o.d"
+  "mobile_sales"
+  "mobile_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobile_sales.
+# This may be replaced when dependencies are built.

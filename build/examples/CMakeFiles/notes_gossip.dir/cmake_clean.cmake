@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notes_gossip.dir/notes_gossip.cc.o"
+  "CMakeFiles/notes_gossip.dir/notes_gossip.cc.o.d"
+  "notes_gossip"
+  "notes_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notes_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_traces.dir/protocol_traces.cc.o"
+  "CMakeFiles/protocol_traces.dir/protocol_traces.cc.o.d"
+  "protocol_traces"
+  "protocol_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

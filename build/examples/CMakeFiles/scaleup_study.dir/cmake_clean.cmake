@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleup_study.dir/scaleup_study.cc.o"
+  "CMakeFiles/scaleup_study.dir/scaleup_study.cc.o.d"
+  "scaleup_study"
+  "scaleup_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleup_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

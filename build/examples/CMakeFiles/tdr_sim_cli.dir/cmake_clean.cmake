@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_sim_cli.dir/tdr_sim.cc.o"
+  "CMakeFiles/tdr_sim_cli.dir/tdr_sim.cc.o.d"
+  "tdrsim"
+  "tdrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_analytic.dir/fit.cc.o"
+  "CMakeFiles/tdr_analytic.dir/fit.cc.o.d"
+  "CMakeFiles/tdr_analytic.dir/model.cc.o"
+  "CMakeFiles/tdr_analytic.dir/model.cc.o.d"
+  "libtdr_analytic.a"
+  "libtdr_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

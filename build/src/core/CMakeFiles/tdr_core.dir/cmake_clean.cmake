@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_core.dir/acceptance.cc.o"
+  "CMakeFiles/tdr_core.dir/acceptance.cc.o.d"
+  "CMakeFiles/tdr_core.dir/two_tier.cc.o"
+  "CMakeFiles/tdr_core.dir/two_tier.cc.o.d"
+  "libtdr_core.a"
+  "libtdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

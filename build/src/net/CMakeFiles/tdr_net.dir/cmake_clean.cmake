@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_net.dir/network.cc.o"
+  "CMakeFiles/tdr_net.dir/network.cc.o.d"
+  "libtdr_net.a"
+  "libtdr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

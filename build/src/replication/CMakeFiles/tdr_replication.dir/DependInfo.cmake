@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/cluster.cc" "src/replication/CMakeFiles/tdr_replication.dir/cluster.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/cluster.cc.o.d"
+  "/root/repo/src/replication/convergence.cc" "src/replication/CMakeFiles/tdr_replication.dir/convergence.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/convergence.cc.o.d"
+  "/root/repo/src/replication/driver.cc" "src/replication/CMakeFiles/tdr_replication.dir/driver.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/driver.cc.o.d"
+  "/root/repo/src/replication/eager.cc" "src/replication/CMakeFiles/tdr_replication.dir/eager.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/eager.cc.o.d"
+  "/root/repo/src/replication/lazy_group.cc" "src/replication/CMakeFiles/tdr_replication.dir/lazy_group.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/lazy_group.cc.o.d"
+  "/root/repo/src/replication/lazy_master.cc" "src/replication/CMakeFiles/tdr_replication.dir/lazy_master.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/lazy_master.cc.o.d"
+  "/root/repo/src/replication/ownership.cc" "src/replication/CMakeFiles/tdr_replication.dir/ownership.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/ownership.cc.o.d"
+  "/root/repo/src/replication/quorum.cc" "src/replication/CMakeFiles/tdr_replication.dir/quorum.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/quorum.cc.o.d"
+  "/root/repo/src/replication/repair.cc" "src/replication/CMakeFiles/tdr_replication.dir/repair.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/repair.cc.o.d"
+  "/root/repo/src/replication/replica_applier.cc" "src/replication/CMakeFiles/tdr_replication.dir/replica_applier.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/replica_applier.cc.o.d"
+  "/root/repo/src/replication/retry.cc" "src/replication/CMakeFiles/tdr_replication.dir/retry.cc.o" "gcc" "src/replication/CMakeFiles/tdr_replication.dir/retry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tdr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/tdr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

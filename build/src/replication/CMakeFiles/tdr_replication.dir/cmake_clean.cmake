@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_replication.dir/cluster.cc.o"
+  "CMakeFiles/tdr_replication.dir/cluster.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/convergence.cc.o"
+  "CMakeFiles/tdr_replication.dir/convergence.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/driver.cc.o"
+  "CMakeFiles/tdr_replication.dir/driver.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/eager.cc.o"
+  "CMakeFiles/tdr_replication.dir/eager.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/lazy_group.cc.o"
+  "CMakeFiles/tdr_replication.dir/lazy_group.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/lazy_master.cc.o"
+  "CMakeFiles/tdr_replication.dir/lazy_master.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/ownership.cc.o"
+  "CMakeFiles/tdr_replication.dir/ownership.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/quorum.cc.o"
+  "CMakeFiles/tdr_replication.dir/quorum.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/repair.cc.o"
+  "CMakeFiles/tdr_replication.dir/repair.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/replica_applier.cc.o"
+  "CMakeFiles/tdr_replication.dir/replica_applier.cc.o.d"
+  "CMakeFiles/tdr_replication.dir/retry.cc.o"
+  "CMakeFiles/tdr_replication.dir/retry.cc.o.d"
+  "libtdr_replication.a"
+  "libtdr_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

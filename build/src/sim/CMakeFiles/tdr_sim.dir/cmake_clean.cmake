@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_sim.dir/simulator.cc.o"
+  "CMakeFiles/tdr_sim.dir/simulator.cc.o.d"
+  "libtdr_sim.a"
+  "libtdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

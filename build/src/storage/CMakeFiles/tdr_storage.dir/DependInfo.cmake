@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/tdr_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/tdr_storage.dir/object_store.cc.o.d"
+  "/root/repo/src/storage/tentative_store.cc" "src/storage/CMakeFiles/tdr_storage.dir/tentative_store.cc.o" "gcc" "src/storage/CMakeFiles/tdr_storage.dir/tentative_store.cc.o.d"
+  "/root/repo/src/storage/timestamp.cc" "src/storage/CMakeFiles/tdr_storage.dir/timestamp.cc.o" "gcc" "src/storage/CMakeFiles/tdr_storage.dir/timestamp.cc.o.d"
+  "/root/repo/src/storage/update_log.cc" "src/storage/CMakeFiles/tdr_storage.dir/update_log.cc.o" "gcc" "src/storage/CMakeFiles/tdr_storage.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

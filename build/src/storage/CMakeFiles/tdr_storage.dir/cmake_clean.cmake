@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_storage.dir/object_store.cc.o"
+  "CMakeFiles/tdr_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/tdr_storage.dir/tentative_store.cc.o"
+  "CMakeFiles/tdr_storage.dir/tentative_store.cc.o.d"
+  "CMakeFiles/tdr_storage.dir/timestamp.cc.o"
+  "CMakeFiles/tdr_storage.dir/timestamp.cc.o.d"
+  "CMakeFiles/tdr_storage.dir/update_log.cc.o"
+  "CMakeFiles/tdr_storage.dir/update_log.cc.o.d"
+  "libtdr_storage.a"
+  "libtdr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

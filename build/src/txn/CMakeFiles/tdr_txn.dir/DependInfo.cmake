@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/executor.cc" "src/txn/CMakeFiles/tdr_txn.dir/executor.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/executor.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/tdr_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/op.cc" "src/txn/CMakeFiles/tdr_txn.dir/op.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/op.cc.o.d"
+  "/root/repo/src/txn/program.cc" "src/txn/CMakeFiles/tdr_txn.dir/program.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/program.cc.o.d"
+  "/root/repo/src/txn/replay_validator.cc" "src/txn/CMakeFiles/tdr_txn.dir/replay_validator.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/replay_validator.cc.o.d"
+  "/root/repo/src/txn/trace.cc" "src/txn/CMakeFiles/tdr_txn.dir/trace.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/trace.cc.o.d"
+  "/root/repo/src/txn/wait_for_graph.cc" "src/txn/CMakeFiles/tdr_txn.dir/wait_for_graph.cc.o" "gcc" "src/txn/CMakeFiles/tdr_txn.dir/wait_for_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/tdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

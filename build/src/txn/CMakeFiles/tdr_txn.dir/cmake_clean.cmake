@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_txn.dir/executor.cc.o"
+  "CMakeFiles/tdr_txn.dir/executor.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/tdr_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/op.cc.o"
+  "CMakeFiles/tdr_txn.dir/op.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/program.cc.o"
+  "CMakeFiles/tdr_txn.dir/program.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/replay_validator.cc.o"
+  "CMakeFiles/tdr_txn.dir/replay_validator.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/trace.cc.o"
+  "CMakeFiles/tdr_txn.dir/trace.cc.o.d"
+  "CMakeFiles/tdr_txn.dir/wait_for_graph.cc.o"
+  "CMakeFiles/tdr_txn.dir/wait_for_graph.cc.o.d"
+  "libtdr_txn.a"
+  "libtdr_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

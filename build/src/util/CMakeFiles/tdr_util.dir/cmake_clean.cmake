@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_util.dir/logging.cc.o"
+  "CMakeFiles/tdr_util.dir/logging.cc.o.d"
+  "CMakeFiles/tdr_util.dir/rng.cc.o"
+  "CMakeFiles/tdr_util.dir/rng.cc.o.d"
+  "CMakeFiles/tdr_util.dir/stats.cc.o"
+  "CMakeFiles/tdr_util.dir/stats.cc.o.d"
+  "CMakeFiles/tdr_util.dir/status.cc.o"
+  "CMakeFiles/tdr_util.dir/status.cc.o.d"
+  "libtdr_util.a"
+  "libtdr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

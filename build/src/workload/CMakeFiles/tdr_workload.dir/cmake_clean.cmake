@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_workload.dir/scenarios.cc.o"
+  "CMakeFiles/tdr_workload.dir/scenarios.cc.o.d"
+  "CMakeFiles/tdr_workload.dir/workload.cc.o"
+  "CMakeFiles/tdr_workload.dir/workload.cc.o.d"
+  "libtdr_workload.a"
+  "libtdr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

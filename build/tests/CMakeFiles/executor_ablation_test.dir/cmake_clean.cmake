@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_ablation_test.dir/executor_ablation_test.cc.o"
+  "CMakeFiles/executor_ablation_test.dir/executor_ablation_test.cc.o.d"
+  "executor_ablation_test"
+  "executor_ablation_test.pdb"
+  "executor_ablation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

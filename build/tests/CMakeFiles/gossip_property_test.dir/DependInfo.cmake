@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gossip_property_test.cc" "tests/CMakeFiles/gossip_property_test.dir/gossip_property_test.cc.o" "gcc" "tests/CMakeFiles/gossip_property_test.dir/gossip_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/tdr_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tdr_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tdr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/tdr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

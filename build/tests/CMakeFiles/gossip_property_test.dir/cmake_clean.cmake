@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_property_test.dir/gossip_property_test.cc.o"
+  "CMakeFiles/gossip_property_test.dir/gossip_property_test.cc.o.d"
+  "gossip_property_test"
+  "gossip_property_test.pdb"
+  "gossip_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

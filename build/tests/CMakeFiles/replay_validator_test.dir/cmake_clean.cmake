@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_validator_test.dir/replay_validator_test.cc.o"
+  "CMakeFiles/replay_validator_test.dir/replay_validator_test.cc.o.d"
+  "replay_validator_test"
+  "replay_validator_test.pdb"
+  "replay_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_applier_test.dir/replica_applier_test.cc.o"
+  "CMakeFiles/replica_applier_test.dir/replica_applier_test.cc.o.d"
+  "replica_applier_test"
+  "replica_applier_test.pdb"
+  "replica_applier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_applier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

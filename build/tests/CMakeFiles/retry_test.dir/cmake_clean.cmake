@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retry_test.dir/retry_test.cc.o"
+  "CMakeFiles/retry_test.dir/retry_test.cc.o.d"
+  "retry_test"
+  "retry_test.pdb"
+  "retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

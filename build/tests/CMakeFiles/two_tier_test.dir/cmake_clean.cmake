@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_tier_test.dir/two_tier_test.cc.o"
+  "CMakeFiles/two_tier_test.dir/two_tier_test.cc.o.d"
+  "two_tier_test"
+  "two_tier_test.pdb"
+  "two_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

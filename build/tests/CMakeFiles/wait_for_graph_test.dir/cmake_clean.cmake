@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_for_graph_test.dir/wait_for_graph_test.cc.o"
+  "CMakeFiles/wait_for_graph_test.dir/wait_for_graph_test.cc.o.d"
+  "wait_for_graph_test"
+  "wait_for_graph_test.pdb"
+  "wait_for_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_for_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
