@@ -35,15 +35,27 @@ void Main() {
   std::printf("------+-------------------------+------------------------"
               "-+------------\n");
 
-  std::vector<std::pair<double, double>> group_points, wait_points,
-      master_points;
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  // The whole grid — group + master at each N — runs as one parallel
+  // sweep; outcomes come back in config order, bit-identical to running
+  // each config serially.
+  const std::vector<std::uint32_t> kNodes{1, 2, 3, 5, 8};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig config = base;
     config.nodes = nodes;
-    SimOutcome group = RunScheme(config);
+    grid.push_back(config);
     config.kind = SchemeKind::kEagerMaster;
-    SimOutcome master = RunScheme(config);
-    analytic::ModelParams p = ToModelParams(config);
+    grid.push_back(config);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+
+  std::vector<std::pair<double, double>> group_points, wait_points,
+      master_points;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    std::uint32_t nodes = kNodes[i];
+    const SimOutcome& group = outcomes[2 * i];
+    const SimOutcome& master = outcomes[2 * i + 1];
+    analytic::ModelParams p = ToModelParams(grid[2 * i]);
     std::printf("%5u | %11.4f %11.4f | %11.5f %11.5f | %11.5f\n", nodes,
                 analytic::EagerWaitRate(p), group.wait_rate(),
                 analytic::EagerDeadlockRate(p), group.deadlock_rate(),
@@ -69,14 +81,18 @@ void Main() {
   // duration constant; the model predicts quadratic (N^2) growth.
   std::printf("\nAblation — parallel replica updates (footnote 2):\n");
   std::printf("%5s | %15s\n", "nodes", "deadlock rate/s");
-  std::vector<std::pair<double, double>> parallel_points;
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  std::vector<SimConfig> ablation_grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig config = base;
     config.kind = SchemeKind::kEagerGroupParallel;
     config.nodes = nodes;
-    SimOutcome out = RunScheme(config);
-    std::printf("%5u | %15.5f\n", nodes, out.deadlock_rate());
-    parallel_points.emplace_back(nodes, out.deadlock_rate());
+    ablation_grid.push_back(config);
+  }
+  std::vector<SimOutcome> ablation = RunSweep(ablation_grid);
+  std::vector<std::pair<double, double>> parallel_points;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    std::printf("%5u | %15.5f\n", kNodes[i], ablation[i].deadlock_rate());
+    parallel_points.emplace_back(kNodes[i], ablation[i].deadlock_rate());
   }
   std::printf(
       "Parallel-update growth exponent: %.2f (footnote-2 model: ~2; the\n"
@@ -91,12 +107,12 @@ void Main() {
     config.nodes = 5;
     config.mix.read = 0.5;  // half the actions are reads
     config.mix.write = 0.5;
-    SimOutcome no_rl = RunScheme(config);
-    config.kind = SchemeKind::kEagerGroupReadLocks;
-    SimOutcome rl = RunScheme(config);
+    std::vector<SimConfig> pair{config, config};
+    pair[1].kind = SchemeKind::kEagerGroupReadLocks;
+    std::vector<SimOutcome> rl_out = RunSweep(pair);
     std::printf("  N=5, 50%% reads: deadlock rate %.5f/s without read "
                 "locks vs %.5f/s with (must be >=)\n",
-                no_rl.deadlock_rate(), rl.deadlock_rate());
+                rl_out[0].deadlock_rate(), rl_out[1].deadlock_rate());
   }
 }
 

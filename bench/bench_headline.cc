@@ -47,22 +47,21 @@ void Main() {
   std::printf("------+-------------------------+------------------------"
               "-+-------------------------\n");
 
-  double eager2 = 0, lazy2 = 0, master2 = 0;
-  double eager2_m = 0, lazy2_m = 0, master2_m = 0;
-  for (std::uint32_t nodes : {2u, 5u, 10u}) {
+  // All nine (scheme, N) cells run as one parallel sweep.
+  const std::vector<std::uint32_t> kNodes{2, 5, 10};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig config = base;
     config.nodes = nodes;
-    analytic::ModelParams p = ToModelParams(config);
 
     // Longer windows at small N (rare events), shorter at N=10 (the
     // cluster is saturating — that IS the instability).
     config.kind = SchemeKind::kEagerGroup;
     config.sim_seconds = nodes >= 10 ? 400 : (nodes >= 5 ? 3000 : 8000);
-    SimOutcome eager = RunScheme(config);
+    grid.push_back(config);
 
     config.kind = SchemeKind::kLazyGroup;
-    config.sim_seconds = nodes >= 10 ? 400 : (nodes >= 5 ? 3000 : 8000);
-    SimOutcome lazy = RunScheme(config);
+    grid.push_back(config);
 
     // Lazy-master deadlocks are ~30x rarer at the same parameters; its
     // column runs a hotter database (still model-regime) so the N=2
@@ -70,8 +69,19 @@ void Main() {
     config.kind = SchemeKind::kLazyMaster;
     config.db_size = 300;
     config.sim_seconds = nodes >= 10 ? 1500 : (nodes >= 5 ? 3000 : 8000);
-    SimOutcome master = RunScheme(config);
-    analytic::ModelParams pm = ToModelParams(config);
+    grid.push_back(config);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+
+  double eager2 = 0, lazy2 = 0, master2 = 0;
+  double eager2_m = 0, lazy2_m = 0, master2_m = 0;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    std::uint32_t nodes = kNodes[i];
+    const SimOutcome& eager = outcomes[3 * i];
+    const SimOutcome& lazy = outcomes[3 * i + 1];
+    const SimOutcome& master = outcomes[3 * i + 2];
+    analytic::ModelParams p = ToModelParams(grid[3 * i]);
+    analytic::ModelParams pm = ToModelParams(grid[3 * i + 2]);
 
     double em = analytic::EagerDeadlockRate(p);
     double lm = analytic::LazyGroupReconciliationRate(p);

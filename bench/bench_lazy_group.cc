@@ -36,17 +36,23 @@ void Main() {
   std::printf("------+-------------------------+------------+-----------"
               "-\n");
 
-  std::vector<std::pair<double, double>> points;
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  const std::vector<std::uint32_t> kNodes{1, 2, 3, 5, 8};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig config = base;
     config.nodes = nodes;
-    SimOutcome out = RunScheme(config);
-    analytic::ModelParams p = ToModelParams(config);
-    std::printf("%5u | %11.4f %11.4f | %10.5f | %10llu\n", nodes,
+    grid.push_back(config);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    const SimOutcome& out = outcomes[i];
+    analytic::ModelParams p = ToModelParams(grid[i]);
+    std::printf("%5u | %11.4f %11.4f | %10.5f | %10llu\n", kNodes[i],
                 analytic::LazyGroupReconciliationRate(p),
                 out.reconciliation_rate(), out.deadlock_rate(),
                 (unsigned long long)out.divergent_slots);
-    points.emplace_back(nodes, out.reconciliation_rate());
+    points.emplace_back(kNodes[i], out.reconciliation_rate());
   }
   std::printf(
       "\nMeasured reconciliation growth exponent: %.2f (model 3.00).\n"
@@ -61,26 +67,36 @@ void Main() {
   // many short fresh-cluster windows (divergence cannot compound) and
   // average. This isolates the model's quantity from the feedback loop.
   std::printf("\nFresh-window estimate (20 x 15s fresh clusters per N):\n");
-  std::printf("%5s | %11s %11s\n", "nodes", "Eq.(14)", "measured");
-  std::printf("------+------------------------\n");
-  std::vector<std::pair<double, double>> fresh_points;
-  for (std::uint32_t nodes : {2u, 3u, 5u, 8u}) {
-    double total = 0;
-    const int kWindows = 20;
+  std::printf("%5s | %11s %11s %11s\n", "nodes", "Eq.(14)", "measured",
+              "+-95%CI");
+  std::printf("------+------------------------------------\n");
+  // All 80 windows (20 per N) go through one parallel sweep; the
+  // per-window rates are then folded into a Welford accumulator per N.
+  const std::vector<std::uint32_t> kFreshNodes{2, 3, 5, 8};
+  const int kWindows = 20;
+  std::vector<SimConfig> windows;
+  for (std::uint32_t nodes : kFreshNodes) {
     for (int w = 0; w < kWindows; ++w) {
       SimConfig config = base;
       config.nodes = nodes;
       config.sim_seconds = 15;
       config.seed = 1000 + w;
-      SimOutcome out = RunScheme(config);
-      total += out.reconciliation_rate();
+      windows.push_back(config);
     }
-    double rate = total / kWindows;
+  }
+  std::vector<SimOutcome> window_out = RunSweep(windows);
+  std::vector<std::pair<double, double>> fresh_points;
+  for (std::size_t i = 0; i < kFreshNodes.size(); ++i) {
+    OnlineStats rate_stats;
+    for (int w = 0; w < kWindows; ++w) {
+      rate_stats.Add(window_out[i * kWindows + w].reconciliation_rate());
+    }
     analytic::ModelParams p = ToModelParams(base);
-    p.nodes = nodes;
-    std::printf("%5u | %11.4f %11.4f\n", nodes,
-                analytic::LazyGroupReconciliationRate(p), rate);
-    fresh_points.emplace_back(nodes, rate);
+    p.nodes = kFreshNodes[i];
+    std::printf("%5u | %11.4f %11.4f %11.4f\n", kFreshNodes[i],
+                analytic::LazyGroupReconciliationRate(p), rate_stats.mean(),
+                rate_stats.ci95_half_width());
+    fresh_points.emplace_back(kFreshNodes[i], rate_stats.mean());
   }
   std::printf(
       "Fresh-window growth exponent: %.2f (model 3.00). At low\n"

@@ -31,18 +31,25 @@ void Main() {
   std::printf("------+-------------------------+-------------+----------"
               "---+------------\n");
 
-  std::vector<std::pair<double, double>> points;
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  const std::vector<std::uint32_t> kNodes{1, 2, 3, 5, 8};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig config = base;
     config.nodes = nodes;
-    SimOutcome out = RunScheme(config);
-    analytic::ModelParams p = ToModelParams(config);
-    std::printf("%5u | %11.5f %11.5f | %11llu | %11.5f | %11llu\n", nodes,
-                analytic::LazyMasterDeadlockRate(p), out.deadlock_rate(),
+    grid.push_back(config);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    const SimOutcome& out = outcomes[i];
+    analytic::ModelParams p = ToModelParams(grid[i]);
+    std::printf("%5u | %11.5f %11.5f | %11llu | %11.5f | %11llu\n",
+                kNodes[i], analytic::LazyMasterDeadlockRate(p),
+                out.deadlock_rate(),
                 (unsigned long long)out.reconciliations,
                 analytic::EagerDeadlockRate(p),
                 (unsigned long long)out.divergent_slots);
-    points.emplace_back(nodes, out.deadlock_rate());
+    points.emplace_back(kNodes[i], out.deadlock_rate());
   }
   std::printf(
       "\nMeasured deadlock growth exponent: %.2f (model 2.00 — versus\n"

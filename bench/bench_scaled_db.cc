@@ -29,15 +29,20 @@ void Main() {
               (unsigned long long)base.db_size, base.tps, base.actions);
   std::printf("%5s | %11s %11s\n", "nodes", "Eq.(12)", "measured");
   std::printf("------+------------------------\n");
-  std::vector<std::pair<double, double>> scaled_points, fixed_points;
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  const std::vector<std::uint32_t> kNodes{1, 2, 3, 5, 8};
+  std::vector<SimConfig> fixed_grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig fixed = base;
     fixed.nodes = nodes;
-    SimOutcome fixed_out = RunScheme(fixed);
-    analytic::ModelParams p = ToModelParams(fixed);
-    std::printf("%5u | %11.5f %11.5f\n", nodes,
-                analytic::EagerDeadlockRate(p), fixed_out.deadlock_rate());
-    fixed_points.emplace_back(nodes, fixed_out.deadlock_rate());
+    fixed_grid.push_back(fixed);
+  }
+  std::vector<SimOutcome> fixed_out = RunSweep(fixed_grid);
+  std::vector<std::pair<double, double>> scaled_points, fixed_points;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    analytic::ModelParams p = ToModelParams(fixed_grid[i]);
+    std::printf("%5u | %11.5f %11.5f\n", kNodes[i],
+                analytic::EagerDeadlockRate(p), fixed_out[i].deadlock_rate());
+    fixed_points.emplace_back(kNodes[i], fixed_out[i].deadlock_rate());
   }
 
   // The scaled-database sweep carries more load (TPS, Actions) so the
@@ -53,18 +58,22 @@ void Main() {
   std::printf("%5s | %9s | %11s %11s\n", "nodes", "DB size", "Eq.(13)",
               "measured");
   std::printf("------+-----------+------------------------\n");
-  for (std::uint32_t nodes : {1u, 2u, 3u, 5u, 8u}) {
+  std::vector<SimConfig> scaled_grid;
+  for (std::uint32_t nodes : kNodes) {
     SimConfig scaled = sbase;
     scaled.nodes = nodes;
     scaled.db_size = sbase.db_size * nodes;
-    SimOutcome scaled_out = RunScheme(scaled);
-    analytic::ModelParams ps = ToModelParams(scaled);
+    scaled_grid.push_back(scaled);
+  }
+  std::vector<SimOutcome> scaled_out = RunSweep(scaled_grid);
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    analytic::ModelParams ps = ToModelParams(scaled_grid[i]);
     ps.db_size = static_cast<double>(sbase.db_size);  // per-node size
-    std::printf("%5u | %9llu | %11.5f %11.5f\n", nodes,
-                (unsigned long long)scaled.db_size,
+    std::printf("%5u | %9llu | %11.5f %11.5f\n", kNodes[i],
+                (unsigned long long)scaled_grid[i].db_size,
                 analytic::EagerDeadlockRateScaledDb(ps),
-                scaled_out.deadlock_rate());
-    scaled_points.emplace_back(nodes, scaled_out.deadlock_rate());
+                scaled_out[i].deadlock_rate());
+    scaled_points.emplace_back(kNodes[i], scaled_out[i].deadlock_rate());
   }
   std::printf(
       "\nMeasured growth exponents: fixed DB %.2f (model 3.00), scaled DB "

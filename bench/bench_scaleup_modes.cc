@@ -69,22 +69,30 @@ void Main() {
   std::printf("-----------------------------------+------------+----------"
               "----+--------------\n");
 
-  BoxResult base = RunStandalone(1.0, 1);
+  // The figure's four boxes are independent simulations; run them as
+  // one parallel batch.
+  sim::SweepRunner runner;
+  std::vector<BoxResult> boxes = runner.Map<BoxResult>(4, [](std::size_t i) {
+    switch (i) {
+      case 0: return RunStandalone(1.0, 1);   // base case
+      case 1: return RunStandalone(2.0, 1);   // scaleup
+      case 2: return RunStandalone(1.0, 2);   // partitioning
+      default: return RunReplicated(1.0);     // replication
+    }
+  });
+  const BoxResult& base = boxes[0];
+  const BoxResult& scaleup = boxes[1];
+  const BoxResult& partitioned = boxes[2];
+  const BoxResult& replicated = boxes[3];
   std::printf("%-34s | %10u | %12.2f | %12.2f\n",
               "base case: 1 server, 1 TPS", 1, base.per_server_work,
               base.aggregate_work);
-
-  BoxResult scaleup = RunStandalone(2.0, 1);
   std::printf("%-34s | %10u | %12.2f | %12.2f\n",
               "scaleup: 1 bigger server, 2 TPS", 1,
               scaleup.per_server_work, scaleup.aggregate_work);
-
-  BoxResult partitioned = RunStandalone(1.0, 2);
   std::printf("%-34s | %10u | %12.2f | %12.2f\n",
               "partitioning: 2 shards, 1 TPS each", 2,
               partitioned.per_server_work, partitioned.aggregate_work);
-
-  BoxResult replicated = RunReplicated(1.0);
   std::printf("%-34s | %10u | %12.2f | %12.2f\n",
               "replication: 2 replicas, 1 TPS each", 2,
               replicated.per_server_work, replicated.aggregate_work);

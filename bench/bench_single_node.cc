@@ -32,13 +32,20 @@ void Main() {
   std::printf("--------+-------------------------+---------------------"
               "----\n");
 
-  std::vector<std::pair<double, double>> deadlock_points;
-  std::vector<double> model_rates;
-  for (std::uint32_t actions : {2u, 4u, 6u, 8u}) {
+  const std::vector<std::uint32_t> kActions{2, 4, 6, 8};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t actions : kActions) {
     SimConfig config = base;
     config.actions = actions;
-    SimOutcome out = RunScheme(config);
-    analytic::ModelParams p = ToModelParams(config);
+    grid.push_back(config);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+  std::vector<std::pair<double, double>> deadlock_points;
+  std::vector<double> model_rates;
+  for (std::size_t i = 0; i < kActions.size(); ++i) {
+    std::uint32_t actions = kActions[i];
+    const SimOutcome& out = outcomes[i];
+    analytic::ModelParams p = ToModelParams(grid[i]);
     double measured_pw =
         out.submitted > 0
             ? static_cast<double>(out.waits) /

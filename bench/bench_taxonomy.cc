@@ -89,6 +89,13 @@ void Main() {
       {SchemeKind::kLazyGroup, "N transactions", "N object owners"},
       {SchemeKind::kLazyMaster, "N transactions", "one object owner"},
   };
+  // Each row's measurement spins up its own cluster; run all four
+  // concurrently on the sweep runner.
+  sim::SweepRunner runner;
+  std::vector<std::uint64_t> measured_txns =
+      runner.Map<std::uint64_t>(4, [&](std::size_t i) {
+        return MeasureTransactions(entries[i].kind, kNodes);
+      });
   for (const Entry& e : entries) {
     Cluster::Options copts;
     copts.num_nodes = kNodes;
@@ -111,7 +118,7 @@ void Main() {
         scheme = std::make_unique<LazyMasterScheme>(&probe, &own);
         break;
     }
-    std::uint64_t measured = MeasureTransactions(e.kind, kNodes);
+    std::uint64_t measured = measured_txns[&e - entries];
     std::printf("%-14s | %-6s | %-6s | %-18s | %-18llu | %s\n",
                 std::string(scheme->name()).c_str(),
                 scheme->eager() ? "yes" : "no",

@@ -95,10 +95,18 @@ void Main() {
   std::printf("------+----------------------+----------------------+-------"
               "---------------\n");
 
+  // Each node count's three measurements are independent full
+  // simulations; fan them out over the sweep runner's pool.
+  const std::vector<std::uint32_t> kNodes{1, 2, 3, 5, 10};
+  sim::SweepRunner runner;
+  std::vector<Measured> measured = runner.Map<Measured>(
+      kNodes.size(), [&](std::size_t i) { return MeasureAt(kNodes[i]); });
+
   std::vector<std::pair<double, double>> rate_points;
-  for (std::uint32_t n : {1u, 2u, 3u, 5u, 10u}) {
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    std::uint32_t n = kNodes[i];
     p.nodes = n;
-    Measured m = MeasureAt(n);
+    const Measured& m = measured[i];
     double model_duration = 4 * n * 0.010;  // Eq. (6) at bench params
     double model_lazy_txns = n;             // Figure 1 / Table 1
     double model_rate = analytic::ActionRate(p);  // Eq. (8)

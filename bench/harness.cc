@@ -101,6 +101,56 @@ SimOutcome RunScheme(const SimConfig& config) {
   return outcome;
 }
 
+std::vector<SimOutcome> RunSweep(const std::vector<SimConfig>& configs,
+                                 SweepOptions options) {
+  sim::SweepRunner runner(sim::SweepRunner::Options{options.threads});
+  return runner.Map<SimOutcome>(configs.size(), [&](std::size_t i) {
+    SimConfig config = configs[i];
+    if (options.base_seed != 0) {
+      config.seed = sim::DeriveSeed(options.base_seed, i);
+    }
+    return RunScheme(config);
+  });
+}
+
+void OutcomeStats::Add(const SimOutcome& out) {
+  committed_rate.Add(out.Rate(out.committed));
+  deadlock_rate.Add(out.deadlock_rate());
+  wait_rate.Add(out.wait_rate());
+  reconciliation_rate.Add(out.reconciliation_rate());
+}
+
+void OutcomeStats::Merge(const OutcomeStats& other) {
+  committed_rate.Merge(other.committed_rate);
+  deadlock_rate.Merge(other.deadlock_rate);
+  wait_rate.Merge(other.wait_rate);
+  reconciliation_rate.Merge(other.reconciliation_rate);
+}
+
+OutcomeStats RunRepeatedStats(const SimConfig& config, std::size_t reps,
+                              std::uint64_t base_seed, SweepOptions options) {
+  sim::SweepRunner runner(sim::SweepRunner::Options{options.threads});
+  // Fixed block partition — a function of `reps` alone, never of thread
+  // count — so each block's Add order and the final Merge order are
+  // identical on every machine and the merged moments are bit-stable.
+  constexpr std::size_t kStatsBlocks = 8;
+  std::size_t blocks = kStatsBlocks < reps ? kStatsBlocks : reps;
+  if (blocks == 0) blocks = 1;
+  std::vector<OutcomeStats> partial =
+      runner.Map<OutcomeStats>(blocks, [&](std::size_t b) {
+        OutcomeStats stats;
+        for (std::size_t rep = b; rep < reps; rep += blocks) {
+          SimConfig run = config;
+          run.seed = sim::DeriveSeed(base_seed, rep);
+          stats.Add(RunScheme(run));
+        }
+        return stats;
+      });
+  OutcomeStats merged;
+  for (const OutcomeStats& block : partial) merged.Merge(block);
+  return merged;
+}
+
 void PrintBanner(const char* experiment_id, const char* title,
                  const char* paper_ref) {
   std::printf("\n");

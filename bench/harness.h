@@ -14,6 +14,8 @@
 #include "replication/lazy_group.h"
 #include "replication/lazy_master.h"
 #include "replication/ownership.h"
+#include "sim/sweep_runner.h"
+#include "util/stats.h"
 #include "workload/workload.h"
 
 namespace tdr::bench {
@@ -66,6 +68,44 @@ struct SimOutcome {
 /// Runs the uniform open-loop workload under `config` and returns the
 /// measured rates.
 SimOutcome RunScheme(const SimConfig& config);
+
+/// Options for a parallel sweep of independent simulation runs.
+struct SweepOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned threads = 0;
+  /// When nonzero, run i's seed is overridden with
+  /// sim::DeriveSeed(base_seed, i); when zero, each config's own seed is
+  /// used verbatim. Either way the outcome vector is bit-identical at
+  /// any thread count.
+  std::uint64_t base_seed = 0;
+};
+
+/// Runs every config through RunScheme on a thread pool and returns the
+/// outcomes in config order. Each run owns its Simulator, so results
+/// are deterministic regardless of thread count or schedule.
+std::vector<SimOutcome> RunSweep(const std::vector<SimConfig>& configs,
+                                 SweepOptions options = {});
+
+/// Per-metric Welford accumulators over a set of SimOutcomes. Built
+/// blockwise in parallel sweeps and combined with OnlineStats::Merge
+/// (parallel Welford), in fixed block order, so the merged moments are
+/// bit-stable at any thread count.
+struct OutcomeStats {
+  OnlineStats committed_rate;
+  OnlineStats deadlock_rate;
+  OnlineStats wait_rate;
+  OnlineStats reconciliation_rate;
+
+  void Add(const SimOutcome& out);
+  void Merge(const OutcomeStats& other);
+};
+
+/// Runs `reps` repetitions of `config` with seeds DeriveSeed(base_seed,
+/// rep), accumulating each worker block's outcomes locally and merging
+/// the blocks in index order.
+OutcomeStats RunRepeatedStats(const SimConfig& config, std::size_t reps,
+                              std::uint64_t base_seed,
+                              SweepOptions options = {});
 
 /// Maps a SimConfig onto the analytic model's parameters.
 analytic::ModelParams ToModelParams(const SimConfig& config);

@@ -1,103 +1,67 @@
 #include "sim/simulator.h"
 
 #include <cassert>
-#include <memory>
 #include <utility>
 
 namespace tdr::sim {
 
-EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
-  if (when < now_) {
-    ++clamped_schedules_;
-    when = now_;
-  }
-  EventId id = next_seq_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
-}
-
-EventId Simulator::ScheduleAfter(SimTime delay, Callback fn) {
-  if (delay < SimTime::Zero()) delay = SimTime::Zero();
-  return ScheduleAt(now_ + delay, std::move(fn));
-}
-
-bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId) return false;
-  if (repeating_.erase(id) > 0) {
-    // The already-scheduled next occurrence will notice the series is
-    // gone and fire as a no-op.
-    return true;
-  }
-  // We cannot remove from the middle of a priority queue; mark instead.
-  if (pending_ids_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  return true;
-}
-
 EventId Simulator::RepeatEvery(SimTime interval, Callback fn) {
   assert(interval > SimTime::Zero());
-  EventId series = next_seq_++;
-  repeating_.emplace(series, std::move(fn));
-  ScheduleTick(series, interval);
-  return series;
+  // The previous engine allocated a separate series handle from the
+  // sequence counter before scheduling the first tick. Consume one here
+  // too so the sequence stream — and with it every tie-break order and
+  // seeded simulation outcome — is unchanged.
+  ++next_seq_;
+  return AddEvent(now_ + interval, interval, std::move(fn));
 }
 
-void Simulator::ScheduleTick(EventId series, SimTime interval) {
-  // The queued event holds only the series id; the callback lives in
-  // repeating_ so Cancel() frees it (no shared_ptr self-capture cycle).
-  ScheduleAfter(interval, [this, series, interval]() {
-    auto it = repeating_.find(series);
-    if (it == repeating_.end()) return;  // series cancelled
-    // Copy before invoking: the callback may Cancel() its own series,
-    // which erases the map entry — destroying the std::function while
-    // it executes would be undefined behaviour.
-    Callback fn = it->second;
-    fn();
-    // Re-look-up: the callback may have cancelled the series.
-    if (repeating_.find(series) == repeating_.end()) return;
-    ScheduleTick(series, interval);
+void Simulator::Compact() {
+  heap_.Compact([this](const HeapEntry& entry) {
+    return slots_[entry.slot].gen == entry.gen;
   });
 }
 
-bool Simulator::PopNext(Event* out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; we must copy the callback.
-    // Move via const_cast is the standard idiom here and safe because
-    // the element is popped immediately.
-    Event& top = const_cast<Event&>(queue_.top());
-    Event ev{top.when, top.seq, std::move(top.fn)};
-    queue_.pop();
-    auto it = cancelled_.find(ev.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+void Simulator::FireTop() {
+  const HeapEntry top = heap_.Top();
+  heap_.PopTop();
+  now_ = top.when;
+  ++executed_events_;
+  Event& e = slots_[top.slot];
+  if (e.interval == SimTime::Zero()) {
+    // One-shot: release the slot before invoking so Cancel(own id)
+    // inside the callback reports "already fired" and the slot is
+    // immediately reusable by whatever the callback schedules.
+    Callback fn = std::move(e.fn);
+    ReleaseSlot(top.slot);
+    --pending_;
+    fn();
+  } else {
+    // Repeat series: the callback runs with the slot held but off-heap,
+    // then the series re-arms unless the callback cancelled it (which
+    // bumps the generation and drops it from `pending_`). The callback
+    // is moved out during the call so a reentrant Cancel never destroys
+    // a running function object.
+    Callback fn = std::move(e.fn);
+    fn();
+    Event& e2 = slots_[top.slot];  // the slab may have grown and moved
+    if (e2.gen == top.gen) {
+      // Fresh sequence number per occurrence, exactly as if this tick
+      // had scheduled its successor — keeps tie-break order identical
+      // to an explicit reschedule.
+      e2.fn = std::move(fn);
+      heap_.Push(HeapEntry{now_ + e2.interval, next_seq_++, top.slot,
+                           top.gen});
     }
-    pending_ids_.erase(ev.seq);
-    *out = std::move(ev);
-    return true;
   }
-  return false;
 }
 
 std::uint64_t Simulator::RunUntil(SimTime horizon) {
   std::uint64_t ran = 0;
-  Event ev;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > horizon) break;
-    if (!PopNext(&ev)) break;
-    if (ev.when > horizon) {
-      // PopNext may skip cancelled events and surface one past the
-      // horizon; push it back untouched.
-      pending_ids_.insert(ev.seq);
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.when;
-    ++executed_events_;
+  while (true) {
+    SkipStale();
+    if (heap_.empty() || heap_.Top().when > horizon) break;
+    FireTop();
     ++ran;
-    ev.fn();
   }
   if (now_ < horizon) now_ = horizon;
   return ran;
@@ -105,22 +69,19 @@ std::uint64_t Simulator::RunUntil(SimTime horizon) {
 
 std::uint64_t Simulator::Run(std::uint64_t max_events) {
   std::uint64_t ran = 0;
-  Event ev;
-  while (ran < max_events && PopNext(&ev)) {
-    now_ = ev.when;
-    ++executed_events_;
+  while (ran < max_events) {
+    SkipStale();
+    if (heap_.empty()) break;
+    FireTop();
     ++ran;
-    ev.fn();
   }
   return ran;
 }
 
 bool Simulator::Step() {
-  Event ev;
-  if (!PopNext(&ev)) return false;
-  now_ = ev.when;
-  ++executed_events_;
-  ev.fn();
+  SkipStale();
+  if (heap_.empty()) return false;
+  FireTop();
   return true;
 }
 

@@ -1,0 +1,59 @@
+#include "sim/sweep_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tdr::sim {
+
+std::uint64_t DeriveSeed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64 finalizer over base_seed advanced by the golden-ratio
+  // increment per index. index+1 keeps DeriveSeed(s, 0) != s so a run
+  // never silently inherits the sweep-level seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(Options options) : threads_(options.threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void SweepRunner::Run(std::size_t n,
+                      const std::function<void(std::size_t)>& job) const {
+  if (n == 0) return;
+  unsigned workers =
+      static_cast<std::size_t>(threads_) < n ? threads_
+                                             : static_cast<unsigned>(n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tdr::sim

@@ -1,0 +1,61 @@
+#ifndef TDR_SIM_SWEEP_RUNNER_H_
+#define TDR_SIM_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tdr::sim {
+
+/// Derives the seed for sweep run `index` from a sweep-level base seed
+/// (SplitMix64 finalizer over the pair). Pure function of its inputs,
+/// so a sweep's per-run seeds — and therefore its results — are fixed
+/// by (base_seed, index) alone, independent of thread count, schedule,
+/// or which other runs exist.
+std::uint64_t DeriveSeed(std::uint64_t base_seed, std::uint64_t index);
+
+/// Deterministic parallel runner for independent simulation jobs.
+///
+/// Each job owns everything it touches (its own Simulator, Cluster,
+/// Rng); the runner only distributes indices over a thread pool and
+/// joins. Because jobs never share mutable state and each job's inputs
+/// are a pure function of its index, results are bit-identical
+/// regardless of thread count or scheduling — `threads = 1` is the
+/// reference execution and anything else must match it exactly.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means one per hardware thread.
+    unsigned threads = 0;
+  };
+
+  SweepRunner() : SweepRunner(Options{}) {}
+  explicit SweepRunner(Options options);
+
+  unsigned threads() const { return threads_; }
+
+  /// Invokes job(i) for every i in [0, n), distributing indices over
+  /// the pool; blocks until all jobs finish. Jobs must be independent:
+  /// anything they share must be immutable or synchronized by the
+  /// caller. If a job throws, the first exception is rethrown after all
+  /// workers drain.
+  void Run(std::size_t n, const std::function<void(std::size_t)>& job) const;
+
+  /// Typed fan-out: returns fn(0..n-1) in index order, so the result is
+  /// independent of which thread computed which element.
+  template <typename R>
+  std::vector<R> Map(std::size_t n,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(n);
+    Run(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace tdr::sim
+
+#endif  // TDR_SIM_SWEEP_RUNNER_H_

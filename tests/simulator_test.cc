@@ -181,6 +181,80 @@ TEST(SimulatorTest, RepeatEveryCanCancelItselfFromInside) {
   EXPECT_EQ(ticks, 3);
 }
 
+TEST(SimulatorTest, NegativeDelayCountsAsClamped) {
+  // Regression: ScheduleAfter used to clamp negative delays silently,
+  // while ScheduleAt counted past-time clamps. Both paths must count.
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAfter(SimTime::Millis(-5), [&] { ran = true; });
+  EXPECT_EQ(sim.clamped_schedules(), 1u);
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+  EXPECT_EQ(sim.clamped_schedules(), 1u);
+}
+
+TEST(SimulatorTest, CancelAlreadyFiredReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(SimTime::Millis(1), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+  // Also from inside the event's own callback: by then it has fired.
+  EventId self = kInvalidEventId;
+  bool self_cancel = true;
+  self = sim.ScheduleAt(SimTime::Millis(2),
+                        [&] { self_cancel = sim.Cancel(self); });
+  sim.Run();
+  EXPECT_FALSE(self_cancel);
+}
+
+TEST(SimulatorTest, CancelledIdStaysDeadAfterSlotReuse) {
+  // Ids are never reused: an id for a fired/cancelled event must stay
+  // invalid even after its internal storage is recycled by new events.
+  Simulator sim;
+  EventId a = sim.ScheduleAt(SimTime::Millis(1), [] {});
+  EXPECT_TRUE(sim.Cancel(a));
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 10; ++i) {
+    fresh.push_back(sim.ScheduleAt(SimTime::Millis(2 + i), [] {}));
+  }
+  for (EventId id : fresh) EXPECT_NE(id, a);
+  EXPECT_FALSE(sim.Cancel(a));
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(SimulatorTest, RepeatCallbackCancelSelfThenCancelAgainIsFalse) {
+  Simulator sim;
+  int ticks = 0;
+  EventId series = kInvalidEventId;
+  bool first_cancel = false;
+  series = sim.RepeatEvery(SimTime::Millis(1), [&] {
+    if (++ticks == 2) first_cancel = sim.Cancel(series);
+  });
+  sim.Run();
+  EXPECT_EQ(ticks, 2);
+  EXPECT_TRUE(first_cancel);
+  EXPECT_FALSE(sim.Cancel(series));
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RepeatCallbackMayCancelAnotherSeries) {
+  // Cancelling series B from inside series A's callback, including when
+  // B's next occurrence is queued at the very timestamp of the cancel.
+  Simulator sim;
+  int a_ticks = 0, b_ticks = 0;
+  EventId b = sim.RepeatEvery(SimTime::Millis(10), [&] { ++b_ticks; });
+  sim.RepeatEvery(SimTime::Millis(5), [&] {
+    if (++a_ticks == 2) sim.Cancel(b);  // at t=10ms
+  });
+  sim.RunUntil(SimTime::Millis(50));
+  // At t=10ms B's tick carries the older sequence number, so it fires
+  // once before A's cancel runs; after that the series is dead.
+  EXPECT_EQ(b_ticks, 1);
+  EXPECT_GE(a_ticks, 9);
+}
+
 TEST(SimulatorTest, ExecutedEventsCounts) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) sim.ScheduleAfter(SimTime::Micros(i), [] {});
