@@ -2,9 +2,31 @@
 
 #include <cmath>
 
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
 #include "replication/driver.h"
 
 namespace tdr::bench {
+
+namespace {
+
+fault::SchemeClass ToSchemeClass(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kEagerGroup:
+    case SchemeKind::kEagerGroupParallel:
+    case SchemeKind::kEagerGroupReadLocks:
+      return fault::SchemeClass::kEagerGroup;
+    case SchemeKind::kEagerMaster:
+      return fault::SchemeClass::kEagerMaster;
+    case SchemeKind::kLazyGroup:
+      return fault::SchemeClass::kLazyGroup;
+    case SchemeKind::kLazyMaster:
+      return fault::SchemeClass::kLazyMaster;
+  }
+  return fault::SchemeClass::kEagerGroup;
+}
+
+}  // namespace
 
 std::string_view SchemeKindName(SchemeKind kind) {
   switch (kind) {
@@ -46,8 +68,12 @@ SimOutcome RunScheme(const SimConfig& config) {
   for (std::uint32_t i = 0; i < config.nodes; ++i) all_nodes[i] = i;
   Ownership ownership = Ownership::RoundRobin(config.db_size, all_nodes);
 
+  const bool faulted =
+      config.fault_drop_probability > 0 || config.fault_partition_cycle;
+
   std::unique_ptr<ReplicationScheme> scheme;
   LazyGroupScheme* lazy_group = nullptr;
+  LazyMasterScheme* lazy_master = nullptr;
   switch (config.kind) {
     case SchemeKind::kEagerGroup:
       scheme = std::make_unique<EagerGroupScheme>(&cluster);
@@ -73,12 +99,52 @@ SimOutcome RunScheme(const SimConfig& config) {
       scheme = std::move(lg);
       break;
     }
-    case SchemeKind::kLazyMaster:
-      scheme = std::make_unique<LazyMasterScheme>(&cluster, &ownership);
+    case SchemeKind::kLazyMaster: {
+      LazyMasterScheme::Options o;
+      // Faulted runs need the reconnect/heal catch-up hooks, or replicas
+      // that missed updates during an outage would never converge.
+      o.reconnect_catch_up = faulted;
+      auto lm = std::make_unique<LazyMasterScheme>(&cluster, &ownership, o);
+      lazy_master = lm.get();
+      scheme = std::move(lm);
       break;
+    }
   }
 
   (void)lazy_group;  // reconciliation routing now lives in the driver
+
+  // Fault layer: a deterministic plan (drawn from its own RNG stream)
+  // plus the always-on invariant checker. Violations left in the checker
+  // abort the process at scope exit — a benchmark under faults is also a
+  // correctness gate.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::InvariantChecker> checker;
+  if (faulted) {
+    fault::FaultPlan plan;
+    if (config.fault_drop_probability > 0) {
+      fault::ChaosProfile chaos;
+      chaos.drop_probability = config.fault_drop_probability;
+      plan.WithChaos(chaos);
+    }
+    if (config.fault_partition_cycle && config.nodes > 1) {
+      // One cycle: the last node splits off for the middle third.
+      plan.PartitionAt(SimTime::Seconds(config.sim_seconds / 3), "cycle",
+                       {static_cast<NodeId>(config.nodes - 1)})
+          .HealPartitionAt(SimTime::Seconds(2 * config.sim_seconds / 3),
+                           "cycle");
+    }
+    injector = std::make_unique<fault::FaultInjector>(&cluster, plan,
+                                                      Rng(config.seed, 777));
+    fault::InvariantChecker::Options chk;
+    chk.scheme = ToSchemeClass(config.kind);
+    chk.ownership = &ownership;
+    chk.check_interval = SimTime::Seconds(config.sim_seconds / 20);
+    chk.trace_fn = [inj = injector.get()]() { return inj->AppliedLogString(); };
+    checker = std::make_unique<fault::InvariantChecker>(&cluster, chk);
+    injector->Arm();
+    checker->Arm();
+  }
+
   WorkloadDriver::Options dopts;
   dopts.tps_per_node = config.tps;
   dopts.workload.actions = config.actions;
@@ -88,6 +154,21 @@ SimOutcome RunScheme(const SimConfig& config) {
   WorkloadDriver::Outcome out = driver.Run();
 
   SimOutcome outcome;
+  if (faulted) {
+    // Heal, drain, anti-entropy, then the final invariant check
+    // (convergence, or recorded delusion for lazy-group).
+    checker->Disarm();
+    injector->Disarm();
+    injector->HealAll();
+    cluster.sim().Run();
+    if (lazy_master != nullptr) lazy_master->CatchUpAll();
+    cluster.sim().Run();
+    checker->CheckFinal();
+    outcome.injected_drops = injector->injected_drops();
+    outcome.invariant_violations = checker->violations_total();
+    // Violations stay unacknowledged: the checker destructor reports
+    // them and aborts the benchmark (the CI robustness gate).
+  }
   outcome.seconds = out.seconds;
   outcome.submitted = out.submitted;
   outcome.committed = out.committed;

@@ -43,6 +43,14 @@ struct SimConfig {
   double sim_seconds = 200;       // measurement window
   std::uint64_t seed = 42;
   OpMix mix = OpMix::AllWrites();
+
+  // Fault injection (src/fault). When either knob is set, the run
+  // executes under a deterministic FaultPlan with the invariant checker
+  // armed; an unacknowledged invariant violation aborts the benchmark
+  // (the robustness gate). The fault RNG stream is independent of the
+  // workload stream, so a faulted run is replayable from (seed, knobs).
+  double fault_drop_probability = 0.0;  // per-message drop rate
+  bool fault_partition_cycle = false;   // one partition/heal mid-window
 };
 
 struct SimOutcome {
@@ -56,6 +64,8 @@ struct SimOutcome {
   std::uint64_t replica_deadlocks = 0;
   std::uint64_t replica_applied = 0;
   std::uint64_t divergent_slots = 0;  // replica divergence at end
+  std::uint64_t injected_drops = 0;   // messages lost to fault injection
+  std::uint64_t invariant_violations = 0;  // always 0 unless aborted
 
   double Rate(std::uint64_t count) const {
     return seconds > 0 ? static_cast<double>(count) / seconds : 0;

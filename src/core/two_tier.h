@@ -126,8 +126,10 @@ class TwoTierSystem {
   TwoTierSystem& operator=(const TwoTierSystem&) = delete;
 
   Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
   sim::Simulator& sim() { return cluster_.sim(); }
   Ownership& ownership() { return ownership_; }
+  const Ownership& ownership() const { return ownership_; }
   LazyMasterScheme& lazy_master() { return lazy_master_; }
 
   std::uint32_t num_base() const { return options_.num_base; }
@@ -144,6 +146,15 @@ class TwoTierSystem {
   }
 
   MobileNode& mobile(NodeId id) { return *mobiles_.at(id); }
+  const MobileNode& mobile(NodeId id) const { return *mobiles_.at(id); }
+
+  /// Ids of all mobile nodes, ascending.
+  std::vector<NodeId> MobileIds() const {
+    std::vector<NodeId> ids;
+    ids.reserve(mobiles_.size());
+    for (const auto& [id, m] : mobiles_) ids.push_back(id);
+    return ids;
+  }
 
   /// Re-masters an object at a mobile node ("A mobile node may be the
   /// master of some data items", §7). Call before running transactions.

@@ -1,0 +1,100 @@
+#ifndef TDR_FAULT_FAULT_INJECTOR_H_
+#define TDR_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "replication/cluster.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace tdr::fault {
+
+/// Executes a FaultPlan against a cluster, deterministically.
+///
+/// Scheduled actions become ordinary simulator events (so they order
+/// with everything else by (time, seq)); probabilistic message faults
+/// are applied through the Network's MessageInterceptor hook using a
+/// dedicated RNG stream forked from the cluster seed. Identical
+/// (seed, plan) pairs therefore produce byte-identical runs — the
+/// property the replay tests assert.
+///
+/// Partitions compose: each active partition (or manual link cut)
+/// contributes one "separation" to every link it severs, and a link is
+/// physically down while its separation count is nonzero. Overlapping
+/// named partitions thus heal correctly in any order.
+class FaultInjector : public Network::MessageInterceptor {
+ public:
+  FaultInjector(Cluster* cluster, FaultPlan plan, Rng rng);
+
+  /// Detaches the interceptor and cancels pending scheduled actions.
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every plan action on the simulator and attaches the
+  /// message interceptor. Call once, before running the workload.
+  void Arm();
+
+  /// Cancels pending actions, stops chaos and detaches the interceptor.
+  /// Already-applied faults (partitions, crashes) stay in force.
+  void Disarm();
+
+  // Immediate fault API — tests drive these directly; the scheduled
+  // plan actions call the same entry points.
+  void Crash(NodeId node);
+  void Restart(NodeId node);
+  void CutLink(NodeId a, NodeId b);
+  void HealLink(NodeId a, NodeId b);
+  void StartPartition(const std::string& name, std::vector<NodeId> group);
+  void HealPartition(const std::string& name);
+  void SetChaosActive(bool active);
+
+  /// Heals every partition and manual cut, restarts every node this
+  /// injector crashed, and stops chaos — the end-of-run "heal the
+  /// world" step before convergence checks.
+  void HealAll();
+
+  bool chaos_active() const { return chaos_active_; }
+  std::uint64_t injected_drops() const { return injected_drops_; }
+  std::uint64_t injected_duplicates() const { return injected_duplicates_; }
+  std::uint64_t injected_delays() const { return injected_delays_; }
+
+  /// Human-readable log of every fault applied so far, with event
+  /// times — the trace attached to invariant violations.
+  const std::vector<std::string>& applied_log() const { return applied_log_; }
+  std::string AppliedLogString() const;
+
+  // Network::MessageInterceptor:
+  Network::InterceptVerdict OnTransmit(NodeId from, NodeId to) override;
+
+ private:
+  void Apply(const FaultAction& action);
+  void Separate(NodeId a, NodeId b, int delta);
+  void Log(std::string entry);
+
+  Cluster* cluster_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool armed_ = false;
+  bool chaos_active_ = false;
+  // Separation count per unordered node pair (a < b).
+  std::map<std::pair<NodeId, NodeId>, int> separation_;
+  std::map<std::string, std::vector<NodeId>> active_partitions_;
+  std::vector<NodeId> crashed_by_us_;
+  std::vector<sim::EventId> scheduled_;
+  std::vector<std::string> applied_log_;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_duplicates_ = 0;
+  std::uint64_t injected_delays_ = 0;
+};
+
+}  // namespace tdr::fault
+
+#endif  // TDR_FAULT_FAULT_INJECTOR_H_

@@ -13,6 +13,7 @@ Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
       counters_(counters),
       outbox_(nodes_.size()),
       inbox_(nodes_.size()),
+      link_up_(nodes_.size() * nodes_.size(), 1),
       on_reconnect_(nodes_.size()),
       on_disconnect_(nodes_.size()) {}
 
@@ -30,13 +31,53 @@ void Network::Send(NodeId from, NodeId to, Handler fn) {
 }
 
 void Network::Transmit(NodeId from, NodeId to, Handler fn) {
-  SimTime latency = options_.delay + options_.message_cpu * 2;
+  SimTime extra = SimTime::Zero();
+  std::uint32_t copies = 1;
+  if (from != to) {
+    if (!LinkUp(from, to)) {
+      // Link cut: park on the link; SetLinkUp(..., true) resumes us.
+      ++held_total_;
+      if (counters_ != nullptr) counters_->Increment("net.held");
+      held_[{from, to}].push_back(Pending{from, to, std::move(fn)});
+      return;
+    }
+    if (interceptor_ != nullptr) {
+      InterceptVerdict v = interceptor_->OnTransmit(from, to);
+      if (v.drop || v.copies == 0) {
+        ++dropped_;
+        if (counters_ != nullptr) counters_->Increment("net.dropped");
+        return;
+      }
+      copies = v.copies;
+      extra = v.extra_delay;
+      if (copies > 1) {
+        duplicated_ += copies - 1;
+        if (counters_ != nullptr) {
+          counters_->Increment("net.duplicated", copies - 1);
+        }
+      }
+    }
+  }
+  SimTime latency = options_.delay + options_.message_cpu * 2 + extra;
+  for (std::uint32_t c = 1; c < copies; ++c) {
+    sim_->ScheduleAfter(latency, [this, from, to, fn]() mutable {
+      Arrive(from, to, std::move(fn));
+    });
+  }
   sim_->ScheduleAfter(latency, [this, from, to, fn = std::move(fn)]() mutable {
     Arrive(from, to, std::move(fn));
   });
 }
 
 void Network::Arrive(NodeId from, NodeId to, Handler fn) {
+  if (from != to && nodes_[to]->crashed()) {
+    // A crashed receiver has no process to buffer the message; it is
+    // lost (the sender-side out_log, not this copy, is what recovery
+    // replays).
+    ++dropped_;
+    if (counters_ != nullptr) counters_->Increment("net.crash_dropped");
+    return;
+  }
   if (from != to && !nodes_[to]->connected()) {
     // Receiver offline: hold in its inbox until reconnect.
     ++queued_;
@@ -86,6 +127,77 @@ void Network::OnReconnect(NodeId node, std::function<void()> fn) {
 
 void Network::OnDisconnect(NodeId node, std::function<void()> fn) {
   on_disconnect_[node].push_back(std::move(fn));
+}
+
+bool Network::LinkUp(NodeId a, NodeId b) const {
+  assert(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return true;
+  return link_up_[LinkIndex(a, b)] != 0;
+}
+
+bool Network::Reachable(NodeId from, NodeId to) const {
+  assert(from < nodes_.size() && to < nodes_.size());
+  if (from == to) return true;
+  return nodes_[from]->connected() && nodes_[to]->connected() &&
+         LinkUp(from, to);
+}
+
+void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return;  // self-links are permanently up
+  bool was_up = link_up_[LinkIndex(a, b)] != 0;
+  if (was_up == up) return;
+  link_up_[LinkIndex(a, b)] = up ? 1 : 0;
+  link_up_[LinkIndex(b, a)] = up ? 1 : 0;
+  if (!up) return;
+  // Heal: resume transmission of everything parked on the link, in the
+  // order it was sent (per direction), then let catch-up protocols run.
+  for (auto key : {std::make_pair(a, b), std::make_pair(b, a)}) {
+    auto it = held_.find(key);
+    if (it == held_.end()) continue;
+    std::deque<Pending> parked = std::move(it->second);
+    held_.erase(it);
+    for (Pending& p : parked) Transmit(p.from, p.to, std::move(p.fn));
+  }
+  for (const auto& fn : on_link_restored_) fn(a, b);
+}
+
+void Network::OnLinkRestored(std::function<void(NodeId, NodeId)> fn) {
+  on_link_restored_.push_back(std::move(fn));
+}
+
+void Network::Crash(NodeId node) {
+  assert(node < nodes_.size());
+  Node* n = nodes_[node];
+  if (n->crashed()) return;
+  n->set_crashed(true);
+  SetConnected(node, false);
+  // Volatile receive buffers are gone. The outbox stays: each entry is a
+  // committed update in the node's durable log, re-shipped at Restart.
+  std::size_t lost = inbox_[node].size();
+  if (lost > 0) {
+    inbox_[node].clear();
+    dropped_ += lost;
+    if (counters_ != nullptr) counters_->Increment("net.inbox_lost", lost);
+  }
+  if (counters_ != nullptr) counters_->Increment("net.crashes");
+}
+
+void Network::Restart(NodeId node) {
+  assert(node < nodes_.size());
+  Node* n = nodes_[node];
+  if (!n->crashed()) return;
+  n->set_crashed(false);
+  if (counters_ != nullptr) counters_->Increment("net.restarts");
+  // Reconnecting flushes the surviving outbox (log recovery) and fires
+  // the reconnect hooks so schemes run their catch-up protocols.
+  SetConnected(node, true);
+}
+
+std::size_t Network::HeldCount() const {
+  std::size_t total = 0;
+  for (const auto& [key, q] : held_) total += q.size();
+  return total;
 }
 
 ConnectivitySchedule::ConnectivitySchedule(sim::Simulator* sim,

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -28,6 +30,19 @@ namespace tdr {
 ///  * a message arriving while the RECEIVER is disconnected waits in the
 ///    receiver's inbox until it reconnects;
 ///  * order is preserved per queue.
+///
+/// Failure semantics (the fault-injection model, src/fault):
+///  * every link is either up (default) or cut; a message transmitted
+///    over a cut link parks in a per-link held queue and resumes
+///    transmission when the link heals — partitions delay, they do not
+///    silently drop (the sender's replication stream is durable);
+///  * an attached MessageInterceptor may drop, duplicate, or delay each
+///    transmission — the probabilistic fault layer;
+///  * a CRASHED node (Crash/Restart) loses its volatile receive
+///    buffers: its inbox is discarded at crash time and messages
+///    arriving while it is down are dropped. Its outbox survives — a
+///    queued outbound message corresponds to a committed update in the
+///    node's recovery log, and Restart re-ships it (log recovery).
 class Network {
  public:
   /// A delivered message is just a callback run at the destination at
@@ -43,6 +58,22 @@ class Network {
     SimTime message_cpu = SimTime::Zero();
   };
 
+  /// What the fault layer may do to one message transmission.
+  struct InterceptVerdict {
+    bool drop = false;            // message lost forever
+    std::uint32_t copies = 1;     // >1 = duplicate delivery
+    SimTime extra_delay = SimTime::Zero();  // reorder/delay spike
+  };
+
+  /// Interception point consulted once per message transmission (not
+  /// for self-sends). Implemented by fault::FaultInjector; the default
+  /// (no interceptor) is the perfect network the paper assumes.
+  class MessageInterceptor {
+   public:
+    virtual ~MessageInterceptor() = default;
+    virtual InterceptVerdict OnTransmit(NodeId from, NodeId to) = 0;
+  };
+
   Network(sim::Simulator* sim, std::vector<Node*> nodes, Options options,
           CounterRegistry* counters);
 
@@ -51,7 +82,7 @@ class Network {
 
   /// Sends a message; `fn` runs at the destination after the configured
   /// delay once both endpoints have been connected. Self-sends are
-  /// delivered (with delay) without touching connectivity.
+  /// delivered (with delay) without touching connectivity or faults.
   void Send(NodeId from, NodeId to, Handler fn);
 
   /// Broadcasts to every node except `from`.
@@ -69,12 +100,50 @@ class Network {
   /// Callbacks run when a node disconnects.
   void OnDisconnect(NodeId node, std::function<void()> fn);
 
+  // --- Fault surface (driven by fault::FaultInjector) ---------------
+
+  /// Attaches/detaches the probabilistic fault layer (not owned).
+  void set_interceptor(MessageInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+  MessageInterceptor* interceptor() const { return interceptor_; }
+
+  /// Cuts or restores the (symmetric) link between `a` and `b`.
+  /// Restoring re-transmits every message held on the link, then runs
+  /// the OnLinkRestored callbacks — catch-up protocols hook there.
+  void SetLinkUp(NodeId a, NodeId b, bool up);
+  bool LinkUp(NodeId a, NodeId b) const;
+
+  /// True if a message sent now from `from` would be delivered without
+  /// queueing: both endpoints connected and the link up. Self-links are
+  /// always reachable. This is the reachability replication schemes
+  /// consult ("must be connected to the object owner").
+  bool Reachable(NodeId from, NodeId to) const;
+
+  /// Callbacks run after a cut link heals (both orders of (a, b) are
+  /// reported as passed to SetLinkUp).
+  void OnLinkRestored(std::function<void(NodeId a, NodeId b)> fn);
+
+  /// Crashes the node: marks it crashed + disconnected, discards its
+  /// inbox (volatile receive buffers), keeps its outbox (recovery log).
+  void Crash(NodeId node);
+
+  /// Restarts a crashed node: clears the crash flag, reconnects (which
+  /// flushes the surviving outbox — log recovery — and fires the
+  /// reconnect hooks, e.g. quorum catch-up).
+  void Restart(NodeId node);
+
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
   std::uint64_t messages_queued() const { return queued_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t messages_duplicated() const { return duplicated_; }
+  std::uint64_t messages_held() const { return held_total_; }
   std::size_t PendingAt(NodeId node) const {
     return outbox_[node].size() + inbox_[node].size();
   }
+  /// Messages currently parked on cut links.
+  std::size_t HeldCount() const;
 
  private:
   struct Pending {
@@ -85,18 +154,31 @@ class Network {
 
   void Transmit(NodeId from, NodeId to, Handler fn);
   void Arrive(NodeId from, NodeId to, Handler fn);
+  std::size_t LinkIndex(NodeId a, NodeId b) const {
+    return static_cast<std::size_t>(a) * nodes_.size() + b;
+  }
 
   sim::Simulator* sim_;
   std::vector<Node*> nodes_;
   Options options_;
   CounterRegistry* counters_;
+  MessageInterceptor* interceptor_ = nullptr;
   std::vector<std::deque<Pending>> outbox_;  // per sender
   std::vector<std::deque<Pending>> inbox_;   // per receiver
+  std::vector<std::uint8_t> link_up_;        // n*n, symmetric
+  // Messages parked on cut links, per directed (from, to) pair; FIFO
+  // order is preserved through heal, so per-link ordering survives a
+  // partition. std::map keeps flush order deterministic.
+  std::map<std::pair<NodeId, NodeId>, std::deque<Pending>> held_;
   std::vector<std::vector<std::function<void()>>> on_reconnect_;
   std::vector<std::vector<std::function<void()>>> on_disconnect_;
+  std::vector<std::function<void(NodeId, NodeId)>> on_link_restored_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t queued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t held_total_ = 0;
 };
 
 /// Drives the connect/disconnect cycle of one (mobile) node, per the

@@ -43,4 +43,18 @@ std::uint64_t Cluster::DivergentSlots() const {
   return divergent;
 }
 
+std::uint64_t Cluster::StateDigest() const {
+  // FNV-1a over the per-store digests, in node order: sensitive to every
+  // value and timestamp on every replica.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& n : nodes_) {
+    std::uint64_t d = n->store().Digest();
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (d >> shift) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
 }  // namespace tdr

@@ -70,6 +70,11 @@ class Cluster {
   /// be repaired).
   std::uint64_t DivergentSlots() const;
 
+  /// Order-sensitive digest of every node's store contents (values and
+  /// timestamps) — two runs of the same seeded scenario are bit-identical
+  /// iff their digests match. The replay-determinism fingerprint.
+  std::uint64_t StateDigest() const;
+
  private:
   Options options_;
   sim::Simulator sim_;

@@ -68,6 +68,14 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     arrivals.push_back(std::make_unique<OpenLoopArrivals>(
         &cluster_->sim(), aopts, rng.Fork(),
         [this, &outcome, origin, gen_rng]() {
+          if (cluster_->node(origin)->crashed()) {
+            // A crashed node originates nothing; its arrival stream
+            // still ticks (and consumes randomness) so the fault does
+            // not perturb other nodes' workloads.
+            cluster_->counters().Increment("driver.skipped_crashed");
+            (void)generator_.Next(*gen_rng);
+            return;
+          }
           ++outcome.submitted;
           scheme_->Submit(origin, generator_.Next(*gen_rng), nullptr);
         }));

@@ -16,9 +16,9 @@ TxnResult UnavailableResult(NodeId origin, SimTime now) {
   return r;
 }
 
-bool AllConnected(Cluster* cluster) {
+bool AllReachable(Cluster* cluster, NodeId origin) {
   for (NodeId id = 0; id < cluster->size(); ++id) {
-    if (!cluster->node(id)->connected()) return false;
+    if (!cluster->net().Reachable(origin, id)) return false;
   }
   return true;
 }
@@ -28,7 +28,7 @@ bool AllConnected(Cluster* cluster) {
 void EagerGroupScheme::Submit(NodeId origin, const Program& program,
                               DoneCallback done) {
   if (!cluster_->node(origin)->connected() ||
-      (options_.require_all_connected && !AllConnected(cluster_))) {
+      (options_.require_all_connected && !AllReachable(cluster_, origin))) {
     cluster_->counters().Increment("scheme.unavailable");
     if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
     return;
@@ -46,7 +46,7 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
     steps.push_back(ExecStep{origin, op});
     for (NodeId n = 0; n < cluster_->size(); ++n) {
       if (n == origin) continue;
-      if (!cluster_->node(n)->connected()) continue;  // quorum variant
+      if (!cluster_->net().Reachable(origin, n)) continue;  // quorum variant
       steps.push_back(
           ExecStep{n, op, /*charge=*/!options_.parallel_replica_updates});
     }
@@ -63,7 +63,7 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
 void EagerMasterScheme::Submit(NodeId origin, const Program& program,
                                DoneCallback done) {
   if (!cluster_->node(origin)->connected() ||
-      (options_.require_all_connected && !AllConnected(cluster_))) {
+      (options_.require_all_connected && !AllReachable(cluster_, origin))) {
     cluster_->counters().Increment("scheme.unavailable");
     if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
     return;
@@ -72,7 +72,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
   // be connected to the object owner" (§5; same constraint eagerly).
   for (const Op& op : program.ops()) {
     if (op.IsWrite() &&
-        !cluster_->node(ownership_->OwnerOf(op.oid))->connected()) {
+        !cluster_->net().Reachable(origin, ownership_->OwnerOf(op.oid))) {
       cluster_->counters().Increment("scheme.unavailable");
       if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
       return;
@@ -92,7 +92,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
     steps.push_back(ExecStep{owner, op});
     for (NodeId n = 0; n < cluster_->size(); ++n) {
       if (n == owner) continue;
-      if (!cluster_->node(n)->connected()) continue;
+      if (!cluster_->net().Reachable(origin, n)) continue;
       steps.push_back(ExecStep{n, op});
     }
   }

@@ -1,5 +1,6 @@
 #include "replication/lazy_master.h"
 
+#include <cassert>
 #include <utility>
 
 namespace tdr {
@@ -11,6 +12,15 @@ LazyMasterScheme::LazyMasterScheme(Cluster* cluster,
       ownership_(ownership),
       options_(options),
       applier_(&cluster->sim(), &cluster->executor(), &cluster->counters()) {
+  if (options_.reconnect_catch_up) {
+    for (NodeId id = 0; id < cluster_->size(); ++id) {
+      cluster_->net().OnReconnect(id, [this, id]() { CatchUpNode(id); });
+    }
+    cluster_->net().OnLinkRestored([this](NodeId a, NodeId b) {
+      if (cluster_->node(a)->connected()) CatchUpNode(a);
+      if (cluster_->node(b)->connected()) CatchUpNode(b);
+    });
+  }
 }
 
 void LazyMasterScheme::Submit(NodeId origin, const Program& program,
@@ -23,11 +33,12 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
                                            Executor::PrecommitHook precommit,
                                            DoneCallback done) {
   // The originating node and every touched object's master must be
-  // reachable; otherwise the RPC to the owner cannot happen.
+  // reachable; otherwise the RPC to the owner cannot happen. Reachable
+  // covers connectivity AND link partitions between origin and owner.
   bool reachable = cluster_->node(origin)->connected();
   if (reachable) {
     for (const Op& op : program.ops()) {
-      if (!cluster_->node(ownership_->OwnerOf(op.oid))->connected()) {
+      if (!cluster_->net().Reachable(origin, ownership_->OwnerOf(op.oid))) {
         reachable = false;
         break;
       }
@@ -63,6 +74,31 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
         }
         if (done) done(result);
       });
+}
+
+void LazyMasterScheme::CatchUpNode(NodeId node) {
+  Node* dest = cluster_->node(node);
+  for (ObjectId oid = 0; oid < dest->store().size(); ++oid) {
+    NodeId owner = ownership_->OwnerOf(oid);
+    if (owner == node) continue;  // the master copy is authoritative
+    if (!cluster_->net().Reachable(node, owner)) continue;
+    const StoredObject& master = cluster_->node(owner)->store().GetUnchecked(oid);
+    bool applied = false;
+    Status s = dest->store().ApplyIfNewer(oid, master.value, master.ts,
+                                          &applied);
+    assert(s.ok());
+    (void)s;
+    if (applied) {
+      ++catch_up_objects_;
+      cluster_->counters().Increment("lazy_master.catch_up_objects");
+    }
+  }
+}
+
+void LazyMasterScheme::CatchUpAll() {
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (cluster_->node(id)->connected()) CatchUpNode(id);
+  }
 }
 
 void LazyMasterScheme::Propagate(const TxnResult& result) {

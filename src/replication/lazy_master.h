@@ -27,6 +27,12 @@ class LazyMasterScheme : public ReplicationScheme {
  public:
   struct Options {
     bool retry_replica_deadlocks = true;
+    /// If true, a node catches up from the masters when it reconnects or
+    /// a cut link to it heals (anti-entropy): any slave refresh lost to
+    /// a crash or dropped message is repaired from the master copy.
+    /// Off by default — the paper's base protocol relies purely on the
+    /// refresh stream, and the two-tier core manages its own catch-up.
+    bool reconnect_catch_up = false;
   };
 
   LazyMasterScheme(Cluster* cluster, const Ownership* ownership)
@@ -56,8 +62,19 @@ class LazyMasterScheme : public ReplicationScheme {
   /// Traces slave-refresh application (forwarded to the applier).
   void set_trace_sink(TraceSink* sink) { applier_.set_trace_sink(sink); }
 
+  /// Refreshes `node`'s replica of every object from its (reachable)
+  /// master copy, newer-wins. The repair path for refreshes lost to
+  /// crashes or message drops.
+  void CatchUpNode(NodeId node);
+
+  /// Runs CatchUpNode at every connected node — the fault harness calls
+  /// this after all partitions heal so convergence checks see the state
+  /// the anti-entropy protocol would reach.
+  void CatchUpAll();
+
   std::uint64_t slave_updates_applied() const { return slave_applied_; }
   std::uint64_t stale_updates_ignored() const { return stale_ignored_; }
+  std::uint64_t catch_up_objects() const { return catch_up_objects_; }
 
  private:
   void Propagate(const TxnResult& result);
@@ -68,6 +85,7 @@ class LazyMasterScheme : public ReplicationScheme {
   ReplicaApplier applier_;
   std::uint64_t slave_applied_ = 0;
   std::uint64_t stale_ignored_ = 0;
+  std::uint64_t catch_up_objects_ = 0;
 };
 
 }  // namespace tdr

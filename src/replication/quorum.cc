@@ -24,10 +24,16 @@ QuorumEagerScheme::QuorumEagerScheme(Cluster* cluster, Options options)
   // write quorums must intersect (serializing writers of an object).
   assert(read_quorum_ + write_quorum_ > total_votes_);
   assert(2 * write_quorum_ > total_votes_);
-  // Catch-up wiring: a rejoining replica refreshes from the quorum.
+  // Catch-up wiring: a rejoining replica refreshes from the quorum, and
+  // a healing link lets both endpoints refresh from the side they could
+  // not see during the partition.
   for (NodeId id = 0; id < cluster_->size(); ++id) {
     cluster_->net().OnReconnect(id, [this, id]() { CatchUp(id); });
   }
+  cluster_->net().OnLinkRestored([this](NodeId a, NodeId b) {
+    if (cluster_->node(a)->connected()) CatchUp(a);
+    if (cluster_->node(b)->connected()) CatchUp(b);
+  });
 }
 
 std::uint32_t QuorumEagerScheme::ConnectedVotes() const {
@@ -38,9 +44,19 @@ std::uint32_t QuorumEagerScheme::ConnectedVotes() const {
   return votes;
 }
 
+std::uint32_t QuorumEagerScheme::ReachableVotes(NodeId origin) const {
+  if (!cluster_->node(origin)->connected()) return 0;
+  std::uint32_t votes = 0;
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (cluster_->net().Reachable(origin, id)) votes += votes_[id];
+  }
+  return votes;
+}
+
 void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
                                DoneCallback done) {
-  if (!cluster_->node(origin)->connected() || !WriteQuorumAvailable()) {
+  if (!cluster_->node(origin)->connected() ||
+      !WriteQuorumAvailableAt(origin)) {
     cluster_->counters().Increment("scheme.unavailable");
     TxnResult r;
     r.origin = origin;
@@ -50,8 +66,8 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
     if (done) done(r);
     return;
   }
-  // Write set: the origin plus connected replicas until the quorum is
-  // met, kept in ascending id order. The global order serializes all
+  // Write set: the origin plus replicas it can reach until the quorum
+  // is met, kept in ascending id order. The global order serializes all
   // quorum writers of an object through the same first member, so
   // same-object quorum writes cannot deadlock with each other.
   std::vector<NodeId> members;
@@ -59,7 +75,7 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
   members.push_back(origin);
   for (NodeId id = 0; id < cluster_->size() && votes < write_quorum_;
        ++id) {
-    if (id == origin || !cluster_->node(id)->connected()) continue;
+    if (id == origin || !cluster_->net().Reachable(origin, id)) continue;
     members.push_back(id);
     votes += votes_[id];
   }
@@ -117,15 +133,44 @@ Result<StoredObject> QuorumEagerScheme::ReadLatest(ObjectId oid) const {
   return *newest;
 }
 
+Result<StoredObject> QuorumEagerScheme::ReadLatestAt(NodeId reader,
+                                                     ObjectId oid) const {
+  std::uint32_t votes = 0;
+  const StoredObject* newest = nullptr;
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (!cluster_->net().Reachable(reader, id)) continue;
+    const ObjectStore& store = cluster_->node(id)->store();
+    if (!store.Contains(oid)) {
+      return Status::NotFound("ReadLatestAt: object out of range");
+    }
+    const StoredObject& obj = store.GetUnchecked(oid);
+    if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
+    votes += votes_[id];
+    if (votes >= read_quorum_) break;
+  }
+  if (votes < read_quorum_ || newest == nullptr) {
+    return Status::Unavailable(
+        StrPrintf("read quorum unavailable at node %u: %u of %u votes",
+                  reader, votes, read_quorum_));
+  }
+  return *newest;
+}
+
+void QuorumEagerScheme::CatchUpAll() {
+  for (NodeId id = 0; id < cluster_->size(); ++id) {
+    if (cluster_->node(id)->connected()) CatchUp(id);
+  }
+}
+
 void QuorumEagerScheme::CatchUp(NodeId rejoined) {
   // "The quorum sends the new node all replica updates since the node
-  // was disconnected": refresh every object whose newest connected
+  // was disconnected": refresh every object whose newest reachable
   // version is later than the rejoined node's copy.
   Node* node = cluster_->node(rejoined);
   for (ObjectId oid = 0; oid < node->store().size(); ++oid) {
     const StoredObject* newest = nullptr;
     for (NodeId id = 0; id < cluster_->size(); ++id) {
-      if (id == rejoined || !cluster_->node(id)->connected()) continue;
+      if (id == rejoined || !cluster_->net().Reachable(rejoined, id)) continue;
       const StoredObject& obj = cluster_->node(id)->store().GetUnchecked(oid);
       if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
     }

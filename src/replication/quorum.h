@@ -58,26 +58,50 @@ class QuorumEagerScheme : public ReplicationScheme {
 
   /// Quorum read: consults connected replicas holding >= read_quorum
   /// votes and returns the newest version of `oid`. kUnavailable if the
-  /// read quorum cannot be formed.
+  /// read quorum cannot be formed. (Omniscient view — ignores link
+  /// partitions; use ReadLatestAt for the partition-aware read.)
   Result<StoredObject> ReadLatest(ObjectId oid) const;
+
+  /// Partition-aware quorum read as issued from `reader`: only replicas
+  /// reachable from the reader can contribute votes.
+  Result<StoredObject> ReadLatestAt(NodeId reader, ObjectId oid) const;
 
   std::uint32_t total_votes() const { return total_votes_; }
   std::uint32_t write_quorum() const { return write_quorum_; }
   std::uint32_t read_quorum() const { return read_quorum_; }
+  std::uint32_t VoteOf(NodeId id) const { return votes_[id]; }
 
-  /// Votes currently held by connected replicas.
+  /// Votes currently held by connected replicas (ignores partitions).
   std::uint32_t ConnectedVotes() const;
 
-  /// True if a write can currently commit.
+  /// Votes held by replicas reachable from `origin` (including the
+  /// origin itself when connected). Under a link partition this is the
+  /// origin's side of the split, which is what quorum formation must
+  /// use — a node cannot enlist replicas it cannot talk to.
+  std::uint32_t ReachableVotes(NodeId origin) const;
+
+  /// True if a write can currently commit somewhere (ignores partitions).
   bool WriteQuorumAvailable() const {
     return ConnectedVotes() >= write_quorum_;
   }
 
+  /// True if a write submitted at `origin` can currently commit.
+  bool WriteQuorumAvailableAt(NodeId origin) const {
+    return ReachableVotes(origin) >= write_quorum_;
+  }
+
   std::uint64_t catch_up_objects() const { return catch_up_objects_; }
+
+  /// Anti-entropy sweep: every connected node refreshes from the newest
+  /// reachable version of each object. With all links healed this fully
+  /// converges the cluster (quorum writes only touch quorum members, so
+  /// replicas outside recent write sets are legitimately stale until
+  /// they catch up).
+  void CatchUpAll();
 
  private:
   /// Refreshes every stale object of a rejoining node from the newest
-  /// connected replica.
+  /// reachable replica.
   void CatchUp(NodeId rejoined);
 
   Cluster* cluster_;

@@ -47,6 +47,14 @@ class Node {
   bool connected() const { return connected_; }
   void set_connected(bool connected) { connected_ = connected; }
 
+  /// Crash flag maintained by Network::Crash/Restart. A crashed node is
+  /// always disconnected, but unlike a deliberately disconnected mobile
+  /// node it loses its volatile receive buffers and must not originate
+  /// work; the store and out_log survive (they model the durable state
+  /// a recovery log restores).
+  bool crashed() const { return crashed_; }
+  void set_crashed(bool crashed) { crashed_ = crashed; }
+
  private:
   NodeId id_;
   ObjectStore store_;
@@ -54,6 +62,7 @@ class Node {
   LamportClock clock_;
   UpdateLog out_log_;
   bool connected_ = true;
+  bool crashed_ = false;
 };
 
 }  // namespace tdr

@@ -1,0 +1,232 @@
+// The chaos scenario suite: every catalog scenario against every
+// applicable scheme, with the paper's per-scheme guarantees asserted by
+// the always-on invariant checker. Includes the acceptance scenario —
+// crash + partition/heal + 1% drop — replayed bit-identically and run
+// across SweepRunner thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/chaos_scenarios.h"
+#include "sim/sweep_runner.h"
+
+namespace tdr::workload {
+namespace {
+
+using fault::SchemeClass;
+
+ChaosConfig BaseConfig(SchemeClass scheme) {
+  ChaosConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_nodes = 4;
+  cfg.db_size = 64;
+  cfg.tps_per_node = 10;
+  cfg.seconds = 20;
+  cfg.seed = 42;
+  return cfg;
+}
+
+ChaosConfig ScenarioConfig(SchemeClass scheme, const std::string& name) {
+  ChaosConfig cfg = BaseConfig(scheme);
+  const ChaosScenario& s = FindScenario(name);
+  cfg.plan = s.plan(cfg.num_nodes, SimTime::Seconds(cfg.seconds));
+  return cfg;
+}
+
+TEST(ChaosCatalogTest, CatalogIsComplete) {
+  EXPECT_GE(ChaosCatalog().size(), 5u);
+  EXPECT_STREQ(FindScenario("crash-partition-drop").name,
+               "crash-partition-drop");
+  for (const ChaosScenario& s : ChaosCatalog()) {
+    fault::FaultPlan plan = s.plan(4, SimTime::Seconds(20));
+    EXPECT_TRUE(plan.EndsHealed()) << s.name;
+  }
+}
+
+// --- Partition during eager commits ----------------------------------
+
+TEST(ChaosScenarioTest, PartitionDuringEagerGroupCommit) {
+  ChaosConfig cfg = ScenarioConfig(SchemeClass::kEagerGroup,
+                                   "partition-during-commit");
+  ChaosOutcome out = RunChaos(cfg);
+  // Eager group requires all nodes: the partition window shows up as
+  // unavailability, never as divergence.
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.unavailable, 0u);
+  EXPECT_GT(out.committed, 0u);
+}
+
+TEST(ChaosScenarioTest, PartitionDuringQuorumCommit) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kQuorum, "partition-during-commit");
+  ChaosOutcome out = RunChaos(cfg);
+  // The majority side keeps committing; the minority side reads
+  // unavailable; quorum intersection holds throughout.
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.committed, 0u);
+  // Minority-side submissions could not muster a write quorum.
+  EXPECT_GT(out.unavailable, 0u);
+}
+
+TEST(ChaosScenarioTest, PartitionDuringLazyMasterPropagation) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kLazyMaster, "partition-during-commit");
+  ChaosOutcome out = RunChaos(cfg);
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.committed, 0u);
+}
+
+// --- Master crash mid-propagation ------------------------------------
+
+TEST(ChaosScenarioTest, MasterCrashMidPropagationLazyMaster) {
+  ChaosConfig cfg = ScenarioConfig(SchemeClass::kLazyMaster, "master-crash");
+  ChaosOutcome out = RunChaos(cfg);
+  // Node 1 masters a quarter of the objects; while it is down those
+  // objects are unavailable, and its replica misses updates it must
+  // recover via catch-up. Convergence must still hold at the end.
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.unavailable, 0u);
+  EXPECT_GT(out.committed, 0u);
+}
+
+TEST(ChaosScenarioTest, MasterCrashEagerMaster) {
+  ChaosConfig cfg = ScenarioConfig(SchemeClass::kEagerMaster, "master-crash");
+  ChaosOutcome out = RunChaos(cfg);
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(ChaosScenarioTest, CrashQuorumStillMeetsQuorum) {
+  ChaosConfig cfg = ScenarioConfig(SchemeClass::kQuorum, "master-crash");
+  ChaosOutcome out = RunChaos(cfg);
+  // 3 of 4 votes remain: writes keep committing through the crash.
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.committed, 0u);
+}
+
+// --- Lazy group under chaos: delusion is DETECTED, not absent --------
+
+TEST(ChaosScenarioTest, LazyGroupFlakyNetworkDelusionIsDetected) {
+  ChaosConfig cfg = ScenarioConfig(SchemeClass::kLazyGroup, "flaky-network");
+  ChaosOutcome out = RunChaos(cfg);
+  // Dropped replica updates leave stale replicas; subsequent
+  // timestamp-match failures surface as reconciliations and persistent
+  // divergence — the paper's system delusion, *counted* by the checker.
+  EXPECT_EQ(out.violations, 0u) << out.ToString();  // detection != violation
+  EXPECT_GT(out.injected_drops, 0u);
+  EXPECT_GT(out.reconciliations, 0u);
+  EXPECT_GT(out.delusion_slots, 0u);
+  EXPECT_FALSE(out.converged);
+}
+
+// --- Duplicate delivery / reconnect storm ----------------------------
+
+TEST(ChaosScenarioTest, LazyMasterIdempotentUnderDuplicateDelivery) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kLazyMaster, "dup-storm-reconnect");
+  ChaosOutcome out = RunChaos(cfg);
+  // Newer-wins application is idempotent: replayed slave updates are
+  // stale on second delivery and ignored, so duplicates are harmless.
+  EXPECT_GT(out.injected_duplicates, 0u);
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(ChaosScenarioTest, TwoTierMobileReconnectUnderDuplicateDelivery) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kTwoTier, "dup-storm-reconnect");
+  ChaosOutcome out = RunChaos(cfg);
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  // The ledger balanced: every tentative transaction was reprocessed.
+  EXPECT_GT(out.tentative_submitted, 0u);
+  EXPECT_EQ(out.tentative_submitted,
+            out.base_committed + out.base_rejected);
+}
+
+TEST(ChaosScenarioTest, TwoTierSurvivesBaseCrashAndPartition) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kTwoTier, "crash-partition-drop");
+  ChaosOutcome out = RunChaos(cfg);
+  EXPECT_EQ(out.violations, 0u) << out.ToString();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.tentative_submitted, 0u);
+  EXPECT_EQ(out.tentative_submitted,
+            out.base_committed + out.base_rejected);
+}
+
+// --- The acceptance criterion ----------------------------------------
+
+// One seeded chaos run (crash + partition + 1% drop) must be
+// bit-identical across two replays and across SweepRunner thread
+// counts, with zero invariant violations for eager/lazy-master/two-tier
+// and nonzero DETECTED delusion for lazy-group.
+TEST(ChaosReplayTest, AcceptanceScenarioIsBitIdenticalAndInvariantClean) {
+  const std::vector<SchemeClass> schemes = {
+      SchemeClass::kEagerGroup, SchemeClass::kEagerMaster,
+      SchemeClass::kQuorum,     SchemeClass::kLazyMaster,
+      SchemeClass::kLazyGroup,  SchemeClass::kTwoTier,
+  };
+
+  auto run_all = [&](unsigned threads) {
+    sim::SweepRunner runner(sim::SweepRunner::Options{.threads = threads});
+    return runner.Map<std::uint64_t>(schemes.size(), [&](std::size_t i) {
+      ChaosConfig cfg =
+          ScenarioConfig(schemes[i], "crash-partition-drop");
+      ChaosOutcome out = RunChaos(cfg);
+      if (schemes[i] == SchemeClass::kLazyGroup) {
+        // Delusion must be present AND detected.
+        EXPECT_GT(out.reconciliations + out.delusion_slots, 0u);
+        EXPECT_EQ(out.violations, 0u) << out.ToString();
+      } else {
+        EXPECT_EQ(out.violations, 0u)
+            << SchemeClassName(schemes[i]) << ": " << out.ToString()
+            << "\nfaults:\n" << out.fault_log;
+        EXPECT_TRUE(out.converged) << SchemeClassName(schemes[i]);
+      }
+      // The scenario's drop faults actually fired for the schemes that
+      // propagate over the network (eager/quorum install replica writes
+      // as direct executor steps — no messages to drop).
+      if (schemes[i] == SchemeClass::kLazyMaster ||
+          schemes[i] == SchemeClass::kLazyGroup ||
+          schemes[i] == SchemeClass::kTwoTier) {
+        EXPECT_GT(out.injected_drops, 0u) << SchemeClassName(schemes[i]);
+      }
+      return out.Fingerprint();
+    });
+  };
+
+  std::vector<std::uint64_t> serial = run_all(1);
+  std::vector<std::uint64_t> replay = run_all(1);
+  std::vector<std::uint64_t> parallel = run_all(4);
+  EXPECT_EQ(serial, replay);    // bit-identical replay
+  EXPECT_EQ(serial, parallel);  // independent of thread count
+}
+
+TEST(ChaosReplayTest, DifferentSeedsDiverge) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kLazyMaster, "crash-partition-drop");
+  ChaosOutcome a = RunChaos(cfg);
+  cfg.seed = 43;
+  ChaosOutcome b = RunChaos(cfg);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ChaosReplayTest, FaultLogIsReplayedVerbatim) {
+  ChaosConfig cfg =
+      ScenarioConfig(SchemeClass::kEagerGroup, "crash-partition-drop");
+  ChaosOutcome a = RunChaos(cfg);
+  ChaosOutcome b = RunChaos(cfg);
+  EXPECT_FALSE(a.fault_log.empty());
+  EXPECT_EQ(a.fault_log, b.fault_log);
+}
+
+}  // namespace
+}  // namespace tdr::workload

@@ -1,10 +1,15 @@
 // Partition and failure-pattern scenarios across schemes: what happens
-// when the cluster splits, heals, and splits again.
+// when the cluster splits, heals, and splits again. Partitions here are
+// REAL link-level cuts (fault::FaultInjector severs group-to-complement
+// links): both sides stay up and keep working against the nodes they
+// can reach, and cross-split traffic parks on the cut links until heal.
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
+#include "fault/fault_injector.h"
 #include "replication/lazy_group.h"
 #include "replication/lazy_master.h"
 #include "replication/quorum.h"
@@ -12,6 +17,9 @@
 
 namespace tdr {
 namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
 
 Cluster::Options FiveNodes() {
   Cluster::Options o;
@@ -25,9 +33,10 @@ Cluster::Options FiveNodes() {
 TEST(PartitionTest, QuorumMajoritySideStaysLive) {
   Cluster cluster(FiveNodes());
   QuorumEagerScheme scheme(&cluster);
-  // Partition: {0,1,2} vs {3,4} — model as the minority going dark.
-  cluster.net().SetConnected(3, false);
-  cluster.net().SetConnected(4, false);
+  FaultInjector injector(&cluster, FaultPlan(), Rng(3, 777));
+  // Link-level partition: {0,1,2} vs {3,4}. Both sides are up; only the
+  // cross-split links are cut.
+  injector.StartPartition("split", {3, 4});
   int committed = 0, unavailable = 0;
   for (int i = 0; i < 10; ++i) {
     scheme.Submit(static_cast<NodeId>(i % 3), Program({Op::Add(1, 1)}),
@@ -41,35 +50,46 @@ TEST(PartitionTest, QuorumMajoritySideStaysLive) {
   cluster.sim().Run();
   EXPECT_EQ(committed, 10);
   EXPECT_EQ(unavailable, 0);
-  // Heal: the minority catches up instantly via the rejoin hook.
-  cluster.net().SetConnected(3, true);
-  cluster.net().SetConnected(4, true);
+  // The minority side cannot muster a write quorum (2 of 5 votes).
+  std::optional<TxnResult> minority;
+  scheme.Submit(3, Program({Op::Add(1, 1)}),
+                [&](const TxnResult& r) { minority = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(minority.has_value());
+  EXPECT_EQ(minority->outcome, TxnOutcome::kUnavailable);
+  // Heal: the link-restored hooks catch the minority up.
+  injector.HealPartition("split");
+  cluster.sim().Run();
   EXPECT_EQ(cluster.node(3)->store().GetUnchecked(1).value.AsScalar(), 10);
   EXPECT_EQ(cluster.node(4)->store().GetUnchecked(1).value.AsScalar(), 10);
   EXPECT_TRUE(cluster.Converged());
 }
 
 TEST(PartitionTest, QuorumFlappingNeverLosesIncrements) {
-  // Nodes flap while increments flow; total must be conserved and
+  // Partitions flap while increments flow; total must be conserved and
   // the execution serializable.
   Cluster cluster(FiveNodes());
   QuorumEagerScheme scheme(&cluster);
+  FaultInjector injector(&cluster, FaultPlan(), Rng(3, 777));
   ReplayValidator validator;
   Rng rng = cluster.ForkRng();
   int committed = 0;
+  bool partitioned = false;
   for (int round = 0; round < 30; ++round) {
-    // Random minority outage each round.
+    // A random one- or two-node group splits off each round.
     NodeId down1 = static_cast<NodeId>(rng.UniformInt(5));
     NodeId down2 = static_cast<NodeId>(rng.UniformInt(5));
     cluster.sim().ScheduleAfter(SimTime::Millis(1), [&, down1, down2]() {
-      for (NodeId n = 0; n < 5; ++n) cluster.net().SetConnected(n, true);
-      cluster.net().SetConnected(down1, false);
-      if (down2 != down1) cluster.net().SetConnected(down2, false);
+      if (partitioned) injector.HealPartition("flap");
+      std::vector<NodeId> group = {down1};
+      if (down2 != down1) group.push_back(down2);
+      injector.StartPartition("flap", group);
+      partitioned = true;
     });
     cluster.sim().ScheduleAfter(SimTime::Millis(2), [&]() {
       for (int i = 0; i < 3; ++i) {
         NodeId origin = static_cast<NodeId>(rng.UniformInt(5));
-        if (!cluster.node(origin)->connected()) continue;
+        if (!scheme.WriteQuorumAvailableAt(origin)) continue;
         ObjectId oid = rng.UniformInt(32);
         Program p({Op::Add(oid, 1)});
         scheme.Submit(origin, p,
@@ -83,8 +103,9 @@ TEST(PartitionTest, QuorumFlappingNeverLosesIncrements) {
     });
     cluster.sim().Run();
   }
-  for (NodeId n = 0; n < 5; ++n) cluster.net().SetConnected(n, true);
+  injector.HealAll();
   cluster.sim().Run();
+  scheme.CatchUpAll();
   ASSERT_GT(committed, 30);
   EXPECT_TRUE(cluster.Converged());
   EXPECT_TRUE(validator.Matches(cluster.node(0)->store()));
@@ -95,15 +116,29 @@ TEST(PartitionTest, LazyMasterMinorityMastersBlockOnlyTheirObjects) {
   std::vector<NodeId> all = {0, 1, 2, 3, 4};
   Ownership own = Ownership::RoundRobin(32, all);
   LazyMasterScheme scheme(&cluster, &own);
-  cluster.net().SetConnected(4, false);  // owner of objects 4, 9, 14, ...
+  FaultInjector injector(&cluster, FaultPlan(), Rng(3, 777));
+  // Node 4 (owner of objects 4, 9, 14, ...) splits off — it is still
+  // up, just unreachable from the majority side.
+  injector.StartPartition("iso", {4});
   std::optional<TxnResult> blocked, fine;
-  scheme.Submit(0, Program({Op::Add(4, 1)}),  // owner down
+  scheme.Submit(0, Program({Op::Add(4, 1)}),  // owner unreachable
                 [&](const TxnResult& r) { blocked = r; });
-  scheme.Submit(0, Program({Op::Add(5, 1)}),  // owner 0, up
+  scheme.Submit(0, Program({Op::Add(5, 1)}),  // owner 0, reachable
                 [&](const TxnResult& r) { fine = r; });
   cluster.sim().Run();
   EXPECT_EQ(blocked->outcome, TxnOutcome::kUnavailable);
   EXPECT_EQ(fine->outcome, TxnOutcome::kCommitted);
+  // The isolated master can still update its own objects (that is the
+  // availability lazy-master buys over eager).
+  std::optional<TxnResult> local;
+  scheme.Submit(4, Program({Op::Add(4, 1)}),
+                [&](const TxnResult& r) { local = r; });
+  cluster.sim().Run();
+  EXPECT_EQ(local->outcome, TxnOutcome::kCommitted);
+  // Heal: the parked slave updates deliver and everyone converges.
+  injector.HealAll();
+  cluster.sim().Run();
+  EXPECT_TRUE(cluster.Converged());
 }
 
 TEST(PartitionTest, LazyGroupSplitBrainWritesBothSides) {
@@ -111,13 +146,16 @@ TEST(PartitionTest, LazyGroupSplitBrainWritesBothSides) {
   // object, heal -> irreconcilable divergence detected on both sides.
   Cluster cluster(FiveNodes());
   LazyGroupScheme scheme(&cluster);
-  // Split {0,1} vs {2,3,4}: model by disconnecting 2,3,4 (they can
-  // still work locally — that is the point of lazy group).
-  for (NodeId n : {2u, 3u, 4u}) cluster.net().SetConnected(n, false);
+  FaultInjector injector(&cluster, FaultPlan(), Rng(3, 777));
+  // Split {0,1} vs {2,3,4} at the link level: BOTH sides keep accepting
+  // writes — that is the point (and the danger) of lazy group.
+  injector.StartPartition("split", {0, 1});
   scheme.Submit(0, Program({Op::Write(7, 100)}), nullptr);
   scheme.Submit(2, Program({Op::Write(7, 200)}), nullptr);
   cluster.sim().Run();
-  for (NodeId n : {2u, 3u, 4u}) cluster.net().SetConnected(n, true);
+  // Heal: the parked cross-split replica updates now deliver, and each
+  // side's timestamp-match test fails against the other's write.
+  injector.HealPartition("split");
   cluster.sim().Run();
   EXPECT_GE(scheme.reconciliations(), 1u);
   EXPECT_FALSE(cluster.Converged());
@@ -133,16 +171,18 @@ TEST(PartitionTest, LazyGroupSplitBrainWritesBothSides) {
   EXPECT_TRUE(saw200);
 }
 
-TEST(PartitionTest, EagerQuorumWriteSetExcludesDownNodesDeterministically) {
+TEST(PartitionTest, EagerQuorumWriteSetExcludesUnreachableNodes) {
   Cluster cluster(FiveNodes());
   QuorumEagerScheme scheme(&cluster);
-  cluster.net().SetConnected(1, false);
+  FaultInjector injector(&cluster, FaultPlan(), Rng(3, 777));
+  injector.StartPartition("iso", {1});
   std::optional<TxnResult> result;
   scheme.Submit(2, Program({Op::Write(9, 5)}),
                 [&](const TxnResult& r) { result = r; });
   cluster.sim().Run();
   ASSERT_EQ(result->outcome, TxnOutcome::kCommitted);
-  // The down node holds nothing; exactly three connected members do.
+  // The isolated node holds nothing; exactly three reachable members do
+  // (write quorum = 3 of 5).
   EXPECT_EQ(cluster.node(1)->store().GetUnchecked(9).value.AsScalar(), 0);
   int holders = 0;
   for (NodeId n = 0; n < 5; ++n) {
@@ -151,6 +191,10 @@ TEST(PartitionTest, EagerQuorumWriteSetExcludesDownNodesDeterministically) {
     }
   }
   EXPECT_EQ(holders, 3);
+  // Heal: the rejoin catch-up refreshes the isolated replica.
+  injector.HealPartition("iso");
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.node(1)->store().GetUnchecked(9).value.AsScalar(), 5);
 }
 
 }  // namespace
