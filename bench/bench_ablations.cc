@@ -65,7 +65,7 @@ SimOutcome RunWith(SchemeKind kind, double zipf_theta, double delay_s,
   for (auto& a : arrivals) a->Stop();
   out.seconds = kWindow;
   out.deadlocks = cluster.executor().deadlocked();
-  out.waits = cluster.counters().Get("lock.waits");
+  out.waits = cluster.metrics().Get("lock.waits");
   out.reconciliations = lazy != nullptr ? lazy->reconciliations() : 0;
   return out;
 }
@@ -218,7 +218,7 @@ void Main() {
     };
     cluster.sim().Run(10'000'000);
     return R{cluster.executor().deadlocked() / kWindow,
-             cluster.counters().Get("lock.waits") / kWindow,
+             cluster.metrics().Get("lock.waits") / kWindow,
              cluster.Converged()};
   };
   {

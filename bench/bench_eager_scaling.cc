@@ -24,6 +24,8 @@ void Main() {
   base.action_time = 0.01;
   base.sim_seconds = 1500;
 
+  obs::RunReport report = MakeReport("eager_scaling", base);
+
   std::printf("DB_Size=%llu TPS=%.0f/node Actions=%u Action_Time=%.0fms "
               "window=%.0fs\n\n",
               (unsigned long long)base.db_size, base.tps, base.actions,
@@ -63,6 +65,14 @@ void Main() {
     group_points.emplace_back(nodes, group.deadlock_rate());
     wait_points.emplace_back(nodes, group.wait_rate());
     master_points.emplace_back(nodes, master.deadlock_rate());
+    for (std::size_t j = 0; j < 2; ++j) {
+      obs::Json row = ReportRow(grid[2 * i + j], outcomes[2 * i + j]);
+      row.Set("table", obs::Json("scaling"));
+      row.Set("model_wait_rate", obs::Json(analytic::EagerWaitRate(p)));
+      row.Set("model_deadlock_rate",
+              obs::Json(analytic::EagerDeadlockRate(p)));
+      report.AddRow(std::move(row));
+    }
   }
   std::printf(
       "\nMeasured growth exponents: waits %.2f (model 3.00), group "
@@ -93,6 +103,9 @@ void Main() {
   for (std::size_t i = 0; i < kNodes.size(); ++i) {
     std::printf("%5u | %15.5f\n", kNodes[i], ablation[i].deadlock_rate());
     parallel_points.emplace_back(kNodes[i], ablation[i].deadlock_rate());
+    obs::Json row = ReportRow(ablation_grid[i], ablation[i]);
+    row.Set("table", obs::Json("parallel_ablation"));
+    report.AddRow(std::move(row));
   }
   std::printf(
       "Parallel-update growth exponent: %.2f (footnote-2 model: ~2; the\n"
@@ -113,7 +126,25 @@ void Main() {
     std::printf("  N=5, 50%% reads: deadlock rate %.5f/s without read "
                 "locks vs %.5f/s with (must be >=)\n",
                 rl_out[0].deadlock_rate(), rl_out[1].deadlock_rate());
+    for (std::size_t j = 0; j < 2; ++j) {
+      obs::Json row = ReportRow(pair[j], rl_out[j]);
+      row.Set("table", obs::Json("read_lock_ablation"));
+      report.AddRow(std::move(row));
+    }
   }
+
+  obs::Json fits = obs::Json::Object();
+  fits.Set("wait_growth_exponent",
+           obs::Json(FitPowerLawExponent(wait_points)));
+  fits.Set("group_deadlock_growth_exponent",
+           obs::Json(FitPowerLawExponent(group_points)));
+  fits.Set("master_deadlock_growth_exponent",
+           obs::Json(FitPowerLawExponent(master_points)));
+  fits.Set("parallel_deadlock_growth_exponent",
+           obs::Json(FitPowerLawExponent(parallel_points)));
+  report.SetInvariants(obs::Json::Object().Set("fitted_exponents",
+                                               std::move(fits)));
+  WriteReport(report, "BENCH_eager_scaling.json");
 }
 
 }  // namespace tdr::bench

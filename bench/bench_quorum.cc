@@ -15,6 +15,7 @@
 
 #include "bench/harness.h"
 #include "net/network.h"
+#include "obs/run_report.h"
 #include "replication/quorum.h"
 
 namespace tdr::bench {
@@ -123,6 +124,12 @@ void Main() {
               "commit", "lost", "avail", "commit", "lost", "catchup");
   std::printf("-------+----------------------------+------------------"
               "-----------------\n");
+  obs::RunReport report("quorum");
+  report.SetConfig("nodes", obs::Json(5))
+      .SetConfig("db_size", obs::Json(64))
+      .SetConfig("tps_total", obs::Json(15.0))
+      .SetConfig("window_seconds", obs::Json(300.0));
+  std::int64_t total_lost = 0;
   for (double d : {10.0, 30.0, 120.0}) {
     AvailResult plain = Run(false, d);
     AvailResult quorum = Run(true, d);
@@ -135,7 +142,25 @@ void Main() {
                 (unsigned long long)quorum.committed,
                 (long long)(quorum.committed_delta - quorum.final_value),
                 (unsigned long long)quorum.catch_up);
+    for (int mode = 0; mode < 2; ++mode) {
+      const AvailResult& r = mode == 0 ? plain : quorum;
+      std::int64_t lost = r.committed_delta - r.final_value;
+      total_lost += mode == 1 ? lost : 0;  // only quorum promises zero
+      obs::Json row = obs::Json::Object();
+      row.Set("scheme", obs::Json(mode == 0 ? "eager_group" : "quorum"))
+          .Set("disconnect_seconds", obs::Json(d))
+          .Set("submitted", obs::Json(r.submitted))
+          .Set("committed", obs::Json(r.committed))
+          .Set("unavailable", obs::Json(r.unavailable))
+          .Set("availability", obs::Json(r.availability()))
+          .Set("lost_increments", obs::Json(lost))
+          .Set("catch_up_objects", obs::Json(r.catch_up));
+      report.AddRow(std::move(row));
+    }
   }
+  report.SetInvariants(obs::Json::Object().Set(
+      "quorum_lost_increments_total", obs::Json(total_lost)));
+  WriteReport(report, "BENCH_quorum.json");
   std::printf(
       "\nPlain eager refuses all updates whenever anyone is down; the\n"
       "majority quorum stays ~100%% available through minority failures\n"

@@ -61,7 +61,7 @@ std::uint64_t MeasureTransactions(SchemeKind kind, std::uint32_t nodes) {
   // are batched one-per-destination-node, each counted via the applier.
   std::uint64_t user = cluster.executor().committed();
   std::uint64_t replica_batches =
-      cluster.counters().Get("net.delivered");  // one batch per message
+      cluster.metrics().Get("net.delivered");  // one batch per message
   return user + replica_batches;
 }
 
@@ -141,7 +141,7 @@ void Main() {
   // Tentative txn + base txn + one slave-refresh txn per other replica.
   std::uint64_t two_tier_txns = sys.tentative_submitted() +
                                 sys.base_committed() +
-                                sys.cluster().counters().Get("replica.applied");
+                                sys.cluster().metrics().Get("replica.applied");
   std::printf("%-14s | %-6s | %-6s | %-18s | %-18llu | %s\n", "two-tier",
               "lazy+", "no", "N+1 transactions",
               static_cast<unsigned long long>(two_tier_txns),

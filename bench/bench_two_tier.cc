@@ -18,6 +18,7 @@
 #include "bench/harness.h"
 #include "core/two_tier.h"
 #include "net/network.h"
+#include "obs/run_report.h"
 
 namespace tdr::bench {
 namespace {
@@ -193,6 +194,14 @@ void Main() {
   const std::uint64_t kDb = 200;
   const std::uint32_t kMobiles = 4;
 
+  obs::RunReport report("two_tier");
+  report.SetConfig("base_nodes", obs::Json(2))
+      .SetConfig("mobile_nodes", obs::Json(static_cast<std::int64_t>(kMobiles)))
+      .SetConfig("db_size", obs::Json(static_cast<std::int64_t>(kDb)))
+      .SetConfig("tps_per_mobile", obs::Json(kTps))
+      .SetConfig("disconnect_seconds", obs::Json(kDisconnect))
+      .SetConfig("window_seconds", obs::Json(kWindow));
+
   std::printf("2 base + %u mobile nodes, DB_Size=%llu, tentative TPS=%.1f/"
               "mobile,\nmobiles disconnected %gs per cycle. Window %gs.\n\n",
               kMobiles, (unsigned long long)kDb, kTps, kDisconnect,
@@ -204,10 +213,12 @@ void Main() {
               "converged");
   std::printf("-------------+-----------+-----------+-----------+--------"
               "------+---------------\n");
+  bool all_converged = true;
   for (double noncommutative : {1.0, 0.5, 0.25, 0.0}) {
     TwoTierOutcome out =
         RunTwoTier(kMobiles, 1.0 - noncommutative, kDisconnect, kTps,
                    kWindow, kDb);
+    all_converged = all_converged && out.base_converged;
     std::printf("%11.0f%% | %9llu | %9llu | %9llu | %12llu | %s\n",
                 noncommutative * 100,
                 (unsigned long long)out.tentative,
@@ -215,6 +226,15 @@ void Main() {
                 (unsigned long long)out.rejected,
                 (unsigned long long)out.base_retries,
                 out.base_converged ? "YES" : "NO (BUG)");
+    obs::Json row = obs::Json::Object();
+    row.Set("noncommutative_fraction", obs::Json(noncommutative))
+        .Set("tentative", obs::Json(out.tentative))
+        .Set("accepted", obs::Json(out.accepted))
+        .Set("rejected", obs::Json(out.rejected))
+        .Set("rejection_rate", obs::Json(out.rejection_rate()))
+        .Set("base_deadlock_retries", obs::Json(out.base_retries))
+        .Set("base_converged", obs::Json(out.base_converged));
+    report.AddRow(std::move(row));
   }
 
   std::uint64_t lazy_divergence =
@@ -229,6 +249,12 @@ void Main() {
       "single-copy serializable base execution; durability at base\n"
       "commit; convergence; zero reconciliation when all transactions\n"
       "commute.\n");
+
+  obs::Json invariants = obs::Json::Object();
+  invariants.Set("base_converged_all_rows", obs::Json(all_converged));
+  invariants.Set("lazy_group_divergent_slots", obs::Json(lazy_divergence));
+  report.SetInvariants(std::move(invariants));
+  WriteReport(report, "BENCH_two_tier.json");
 }
 
 }  // namespace tdr::bench

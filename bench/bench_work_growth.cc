@@ -51,7 +51,7 @@ Measured MeasureAt(std::uint32_t nodes) {
     cluster.sim().Run();
     // Root + one replica-update transaction per remote node.
     m.lazy_txns = 1.0 + static_cast<double>(
-                            cluster.counters().Get("net.delivered"));
+                            cluster.metrics().Get("net.delivered"));
   }
   // (c) Total action rate under load (updates installed per second at
   // all replicas). Low contention so queueing does not distort it.

@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
+#include "obs/timeseries.h"
 #include "replication/driver.h"
 
 namespace tdr::bench {
@@ -62,6 +63,7 @@ SimOutcome RunScheme(const SimConfig& config) {
   copts.db_size = config.db_size;
   copts.action_time = SimTime::Seconds(config.action_time);
   copts.seed = config.seed;
+  copts.enable_metrics = config.enable_metrics;
   Cluster cluster(copts);
 
   std::vector<NodeId> all_nodes(config.nodes);
@@ -145,6 +147,18 @@ SimOutcome RunScheme(const SimConfig& config) {
     checker->Arm();
   }
 
+  obs::TimeSeriesRecorder::Options ropts;
+  ropts.interval = SimTime::Seconds(config.series_interval_seconds);
+  obs::TimeSeriesRecorder recorder(&cluster.sim(), &cluster.metrics(),
+                                   ropts);
+  if (config.record_series && config.enable_metrics) {
+    recorder.TrackRate("txn.committed");
+    recorder.TrackRate("txn.deadlocks");
+    recorder.TrackRate("replica.applied");
+    recorder.TrackRate("net.delivered");
+    recorder.Start();
+  }
+
   WorkloadDriver::Options dopts;
   dopts.tps_per_node = config.tps;
   dopts.workload.actions = config.actions;
@@ -152,6 +166,7 @@ SimOutcome RunScheme(const SimConfig& config) {
   dopts.seconds = config.sim_seconds;
   WorkloadDriver driver(&cluster, scheme.get(), dopts);
   WorkloadDriver::Outcome out = driver.Run();
+  recorder.Stop();
 
   SimOutcome outcome;
   if (faulted) {
@@ -179,6 +194,18 @@ SimOutcome RunScheme(const SimConfig& config) {
   outcome.replica_deadlocks = out.replica_deadlocks;
   outcome.replica_applied = out.replica_applied;
   outcome.divergent_slots = out.divergent_slots;
+  if (config.enable_metrics) {
+    // Export the simulator's own health gauges before snapshotting;
+    // they are deterministic (event counts, not wall time).
+    cluster.metrics().SetGauge(
+        "sim.executed_events",
+        static_cast<double>(cluster.sim().executed_events()));
+    cluster.metrics().SetGauge(
+        "sim.clamped_schedules",
+        static_cast<double>(cluster.sim().clamped_schedules()));
+    outcome.metrics = cluster.metrics().Snapshot();
+    outcome.series = recorder.Series();
+  }
   return outcome;
 }
 
@@ -199,6 +226,8 @@ void OutcomeStats::Add(const SimOutcome& out) {
   deadlock_rate.Add(out.deadlock_rate());
   wait_rate.Add(out.wait_rate());
   reconciliation_rate.Add(out.reconciliation_rate());
+  metrics.Merge(out.metrics);
+  series.Add(out.series);
 }
 
 void OutcomeStats::Merge(const OutcomeStats& other) {
@@ -206,6 +235,8 @@ void OutcomeStats::Merge(const OutcomeStats& other) {
   deadlock_rate.Merge(other.deadlock_rate);
   wait_rate.Merge(other.wait_rate);
   reconciliation_rate.Merge(other.reconciliation_rate);
+  metrics.Merge(other.metrics);
+  series.Merge(other.series);
 }
 
 OutcomeStats RunRepeatedStats(const SimConfig& config, std::size_t reps,
@@ -230,6 +261,44 @@ OutcomeStats RunRepeatedStats(const SimConfig& config, std::size_t reps,
   OutcomeStats merged;
   for (const OutcomeStats& block : partial) merged.Merge(block);
   return merged;
+}
+
+obs::RunReport MakeReport(std::string experiment, const SimConfig& config) {
+  obs::RunReport report(std::move(experiment));
+  report.SetConfig("scheme", SchemeKindName(config.kind))
+      .SetConfig("nodes", static_cast<std::uint64_t>(config.nodes))
+      .SetConfig("db_size", config.db_size)
+      .SetConfig("tps", config.tps)
+      .SetConfig("actions", static_cast<std::uint64_t>(config.actions))
+      .SetConfig("action_time", config.action_time)
+      .SetConfig("sim_seconds", config.sim_seconds)
+      .SetConfig("seed", config.seed);
+  return report;
+}
+
+obs::Json ReportRow(const SimConfig& config, const SimOutcome& out) {
+  obs::Json row = obs::Json::Object();
+  row.Set("scheme", SchemeKindName(config.kind));
+  row.Set("nodes", static_cast<std::uint64_t>(config.nodes));
+  row.Set("seed", config.seed);
+  row.Set("submitted", out.submitted);
+  row.Set("committed", out.committed);
+  row.Set("committed_per_sec", out.Rate(out.committed));
+  row.Set("deadlock_rate", out.deadlock_rate());
+  row.Set("wait_rate", out.wait_rate());
+  row.Set("reconciliation_rate", out.reconciliation_rate());
+  row.Set("unavailable", out.unavailable);
+  row.Set("divergent_slots", out.divergent_slots);
+  return row;
+}
+
+void WriteReport(const obs::RunReport& report, const std::string& path) {
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "warning: cannot write report to %s\n",
+                 path.c_str());
+    return;
+  }
+  std::printf("\nreport: %s\n", path.c_str());
 }
 
 void PrintBanner(const char* experiment_id, const char* title,

@@ -9,6 +9,9 @@
 
 #include "analytic/fit.h"
 #include "analytic/model.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/timeseries.h"
 #include "replication/cluster.h"
 #include "replication/eager.h"
 #include "replication/lazy_group.h"
@@ -51,6 +54,15 @@ struct SimConfig {
   // workload stream, so a faulted run is replayable from (seed, knobs).
   double fault_drop_probability = 0.0;  // per-message drop rate
   bool fault_partition_cycle = false;   // one partition/heal mid-window
+
+  /// If false the cluster is built with no metrics registry: every
+  /// handle is a no-op. This is the baseline bench_headline uses to
+  /// bound instrumentation overhead.
+  bool enable_metrics = true;
+  /// If true, record a fixed-interval time series of commit/apply rates
+  /// on the simulator clock into SimOutcome::series.
+  bool record_series = false;
+  double series_interval_seconds = 0.5;
 };
 
 struct SimOutcome {
@@ -66,6 +78,11 @@ struct SimOutcome {
   std::uint64_t divergent_slots = 0;  // replica divergence at end
   std::uint64_t injected_drops = 0;   // messages lost to fault injection
   std::uint64_t invariant_violations = 0;  // always 0 unless aborted
+  /// Deterministic snapshot of the cluster's full registry (empty when
+  /// SimConfig::enable_metrics is false).
+  obs::MetricsSnapshot metrics;
+  /// Commit/apply rate series (empty unless SimConfig::record_series).
+  obs::TimeSeries series;
 
   double Rate(std::uint64_t count) const {
     return seconds > 0 ? static_cast<double>(count) / seconds : 0;
@@ -105,6 +122,12 @@ struct OutcomeStats {
   OnlineStats deadlock_rate;
   OnlineStats wait_rate;
   OnlineStats reconciliation_rate;
+  /// Sum of every counter / merge of every histogram across the
+  /// repetitions (deterministic: block order is fixed).
+  obs::MetricsSnapshot metrics;
+  /// Per-bucket Welford moments of the recorded series (empty unless
+  /// the config sets record_series).
+  obs::TimeSeriesStats series;
 
   void Add(const SimOutcome& out);
   void Merge(const OutcomeStats& other);
@@ -127,6 +150,18 @@ using analytic::FitPowerLawExponent;
 /// Banner printing shared by all experiment binaries.
 void PrintBanner(const char* experiment_id, const char* title,
                  const char* paper_ref);
+
+/// Starts a RunReport pre-filled with `config` (one bench convention:
+/// every per-sweep-point SimConfig is also recorded in its row).
+obs::RunReport MakeReport(std::string experiment, const SimConfig& config);
+
+/// One report row holding `config`'s sweep knobs and `out`'s rates —
+/// the machine-readable twin of the printed table row.
+obs::Json ReportRow(const SimConfig& config, const SimOutcome& out);
+
+/// Writes `report` to `path` (under the current working directory by
+/// convention: BENCH_<name>.json), logging on failure.
+void WriteReport(const obs::RunReport& report, const std::string& path);
 
 }  // namespace tdr::bench
 

@@ -34,7 +34,7 @@ TwoTierSystem::TwoTierSystem(Options options)
       ownership_(Ownership::RoundRobin(options.db_size,
                                        BaseNodeIds(options.num_base))),
       lazy_master_(&cluster_, &ownership_),
-      applier_(&cluster_.sim(), &cluster_.executor(), &cluster_.counters()) {
+      applier_(&cluster_.sim(), &cluster_.executor(), cluster_.metrics_or_null()) {
   assert(options_.num_base >= 1);
   for (NodeId id = options_.num_base;
        id < options_.num_base + options_.num_mobile; ++id) {
@@ -87,7 +87,7 @@ Status TwoTierSystem::SubmitTentative(NodeId mobile_id, Program program,
   item.on_tentative_cb = std::move(on_tentative);
   item.on_final = std::move(on_final);
   ++tentative_submitted_;
-  cluster_.counters().Increment("twotier.tentative_submitted");
+  cluster_.metrics().Increment("twotier.tentative_submitted");
   m->to_execute_.push_back(std::move(item));
   if (!m->executing_) ExecuteNextTentative(m);
   return Status::OK();
@@ -142,7 +142,7 @@ void TwoTierSystem::ExecuteNextTentative(MobileNode* m) {
       res.updates.push_back(std::move(rec));
     }
     ++m->tentative_committed_;
-    cluster_.counters().Increment("twotier.tentative_committed");
+    cluster_.metrics().Increment("twotier.tentative_committed");
     if (item.on_tentative_cb) item.on_tentative_cb(res);
     // Queue for base reprocessing in tentative-commit order.
     m->pending_.push_back(std::move(item));
@@ -183,7 +183,7 @@ void TwoTierSystem::ReprocessFront(MobileNode* m, int attempts) {
             m->pending_.pop_front();
             ++base_committed_;
             base_deadlock_retries_ += attempts;
-            cluster_.counters().Increment("twotier.base_committed");
+            cluster_.metrics().Increment("twotier.base_committed");
             FinalOutcome out;
             out.accepted = true;
             out.base_result = base;
@@ -197,7 +197,7 @@ void TwoTierSystem::ReprocessFront(MobileNode* m, int attempts) {
             m->pending_.pop_front();
             ++base_rejected_;
             base_deadlock_retries_ += attempts;
-            cluster_.counters().Increment("twotier.base_rejected");
+            cluster_.metrics().Increment("twotier.base_rejected");
             FinalOutcome out;
             out.accepted = false;
             out.reason = decision->reason;
@@ -210,7 +210,7 @@ void TwoTierSystem::ReprocessFront(MobileNode* m, int attempts) {
           case TxnOutcome::kDeadlock: {
             // "If a base transaction deadlocks, it is resubmitted and
             // reprocessed until it succeeds" (§7).
-            cluster_.counters().Increment("twotier.base_deadlocks");
+            cluster_.metrics().Increment("twotier.base_deadlocks");
             if (attempts + 1 > options_.max_base_retries) {
               // Safety valve; with the paper's semantics this should be
               // unreachable in practice.
@@ -233,7 +233,7 @@ void TwoTierSystem::ReprocessFront(MobileNode* m, int attempts) {
           }
           case TxnOutcome::kUnavailable:
             // Mobile dropped off mid-drain; keep the item pending.
-            cluster_.counters().Increment("twotier.requeued_unavailable");
+            cluster_.metrics().Increment("twotier.requeued_unavailable");
             m->draining_ = false;
             return;
         }
@@ -286,12 +286,12 @@ Status TwoTierSystem::SubmitLocal(NodeId mobile_id, const Program& program,
   Executor::RunOptions opts;
   opts.action_time = options_.action_time;
   opts.record_updates = true;
-  cluster_.counters().Increment("twotier.local_submitted");
+  cluster_.metrics().Increment("twotier.local_submitted");
   cluster_.executor().Run(
       mobile_id, LocalPlan(mobile_id, program), std::move(opts),
       [this, mobile_id, done = std::move(done)](const TxnResult& result) {
         if (result.outcome == TxnOutcome::kCommitted) {
-          cluster_.counters().Increment("twotier.local_committed");
+          cluster_.metrics().Increment("twotier.local_committed");
           // Standard lazy-master slave refresh from the mobile master to
           // every other replica; the Network queues these in the
           // mobile's outbox until it reconnects.

@@ -9,6 +9,9 @@
 #include "core/acceptance.h"
 #include "core/two_tier.h"
 #include "fault/fault_injector.h"
+#include "obs/chrome_trace.h"
+#include "obs/run_report.h"
+#include "obs/timeseries.h"
 #include "replication/driver.h"
 #include "replication/eager.h"
 #include "replication/lazy_group.h"
@@ -88,6 +91,62 @@ SchemeBundle MakeScheme(Cluster* cluster, fault::SchemeClass cls) {
   return b;
 }
 
+obs::Json InvariantSummaryJson(const ChaosOutcome& out) {
+  obs::Json inv = obs::Json::Object();
+  inv.Set("violations", out.violations);
+  inv.Set("delusion_slots", out.delusion_slots);
+  inv.Set("converged", out.converged);
+  obs::Json list = obs::Json::Array();
+  for (const fault::Violation& v : out.violation_list) {
+    obs::Json item = obs::Json::Object();
+    item.Set("invariant", v.invariant);
+    item.Set("detail", v.detail);
+    item.Set("at_seconds", v.at.seconds());
+    list.Push(std::move(item));
+  }
+  inv.Set("violation_list", std::move(list));
+  return inv;
+}
+
+/// Writes the trace (if requested) and the RunReport (if requested) for
+/// a finished chaos run. Shared by the cluster and two-tier runners.
+void EmitChaosArtifacts(const ChaosConfig& cfg, const ChaosOutcome& out,
+                        const obs::ChromeTraceWriter& trace,
+                        const obs::TimeSeries& series,
+                        const obs::MetricsRegistry& registry) {
+  if (!cfg.trace_path.empty() && !trace.WriteFile(cfg.trace_path)) {
+    std::fprintf(stderr, "chaos: cannot write trace to %s\n",
+                 cfg.trace_path.c_str());
+  }
+  if (cfg.report_path.empty()) return;
+  obs::RunReport report("chaos");
+  report.SetConfig("scheme", fault::SchemeClassName(cfg.scheme))
+      .SetConfig("num_nodes", static_cast<std::uint64_t>(cfg.num_nodes))
+      .SetConfig("db_size", cfg.db_size)
+      .SetConfig("tps_per_node", cfg.tps_per_node)
+      .SetConfig("seconds", cfg.seconds)
+      .SetConfig("seed", cfg.seed)
+      .SetConfig("action_time_us",
+                 static_cast<std::int64_t>(cfg.action_time.micros()));
+  obs::Json row = obs::Json::Object();
+  row.Set("submitted", out.submitted);
+  row.Set("committed", out.committed);
+  row.Set("deadlocks", out.deadlocks);
+  row.Set("unavailable", out.unavailable);
+  row.Set("reconciliations", out.reconciliations);
+  row.Set("catch_up_objects", out.catch_up_objects);
+  row.Set("converged", out.converged);
+  report.AddRow(std::move(row));
+  report.SetMetrics(out.metrics);
+  report.SetSeries(series);
+  report.SetInvariants(InvariantSummaryJson(out));
+  report.SetProfile(registry);
+  if (!report.WriteFile(cfg.report_path)) {
+    std::fprintf(stderr, "chaos: cannot write report to %s\n",
+                 cfg.report_path.c_str());
+  }
+}
+
 void FillNetAndFaultStats(const fault::FaultInjector& injector,
                           ChaosOutcome* out) {
   out->injected_drops = injector.injected_drops();
@@ -116,6 +175,26 @@ ChaosOutcome RunChaosCluster(const ChaosConfig& cfg) {
   chk.trace_fn = [&injector]() { return injector.AppliedLogString(); };
   fault::InvariantChecker checker(&cluster, chk);
 
+  obs::ChromeTraceWriter trace;
+  if (!cfg.trace_path.empty()) {
+    cluster.executor().set_trace_sink(&trace);
+    if (bundle.lazy_group != nullptr) bundle.lazy_group->set_trace_sink(&trace);
+    if (bundle.lazy_master != nullptr) {
+      bundle.lazy_master->set_trace_sink(&trace);
+    }
+    injector.set_observer([&trace](SimTime t, const std::string& entry) {
+      trace.OnFault(t, entry);
+    });
+  }
+  obs::TimeSeriesRecorder recorder(&cluster.sim(), &cluster.metrics());
+  if (!cfg.report_path.empty()) {
+    recorder.TrackRate("txn.committed");
+    recorder.TrackRate("replica.applied");
+    recorder.TrackRate("net.delivered");
+    recorder.Track("invariant.violations");
+    recorder.Start();
+  }
+
   injector.Arm();
   checker.Arm();
 
@@ -124,6 +203,7 @@ ChaosOutcome RunChaosCluster(const ChaosConfig& cfg) {
   dopts.seconds = cfg.seconds;
   WorkloadDriver driver(&cluster, bundle.scheme.get(), dopts);
   WorkloadDriver::Outcome window = driver.Run();
+  recorder.Stop();
 
   // Heal the world, drain every queue, then run the schemes'
   // anti-entropy so convergence checks see steady state.
@@ -143,7 +223,7 @@ ChaosOutcome RunChaosCluster(const ChaosConfig& cfg) {
   out.unavailable = window.unavailable;
   out.reconciliations = bundle.lazy_group != nullptr
                             ? bundle.lazy_group->reconciliations()
-                            : cluster.counters().Get("replica.conflicts");
+                            : cluster.metrics().Get("replica.conflicts");
   out.delusion_slots = checker.delusion_slots();
   out.catch_up_objects =
       bundle.lazy_master != nullptr  ? bundle.lazy_master->catch_up_objects()
@@ -157,6 +237,8 @@ ChaosOutcome RunChaosCluster(const ChaosConfig& cfg) {
   out.converged = cluster.Converged();
   out.state_digest = cluster.StateDigest();
   FillNetAndFaultStats(injector, &out);
+  out.metrics = cluster.metrics().Snapshot();
+  EmitChaosArtifacts(cfg, out, trace, recorder.Series(), cluster.metrics());
   return out;
 }
 
@@ -178,6 +260,23 @@ ChaosOutcome RunChaosTwoTier(const ChaosConfig& cfg) {
   chk.check_interval = cfg.check_interval;
   chk.trace_fn = [&injector]() { return injector.AppliedLogString(); };
   fault::InvariantChecker checker(&cluster, chk);
+
+  obs::ChromeTraceWriter trace;
+  if (!cfg.trace_path.empty()) {
+    cluster.executor().set_trace_sink(&trace);
+    sys.lazy_master().set_trace_sink(&trace);
+    injector.set_observer([&trace](SimTime t, const std::string& entry) {
+      trace.OnFault(t, entry);
+    });
+  }
+  obs::TimeSeriesRecorder recorder(&cluster.sim(), &cluster.metrics());
+  if (!cfg.report_path.empty()) {
+    recorder.TrackRate("txn.committed");
+    recorder.TrackRate("replica.applied");
+    recorder.TrackRate("net.delivered");
+    recorder.Track("invariant.violations");
+    recorder.Start();
+  }
 
   injector.Arm();
   checker.Arm();
@@ -239,6 +338,7 @@ ChaosOutcome RunChaosTwoTier(const ChaosConfig& cfg) {
 
   sys.sim().RunUntil(SimTime::Seconds(cfg.seconds));
   for (sim::EventId id : base_series) sys.sim().Cancel(id);
+  recorder.Stop();
 
   checker.Disarm();
   injector.Disarm();
@@ -257,8 +357,8 @@ ChaosOutcome RunChaosTwoTier(const ChaosConfig& cfg) {
 
   out.committed = cluster.executor().committed();
   out.deadlocks = cluster.executor().deadlocked();
-  out.unavailable = cluster.counters().Get("scheme.unavailable");
-  out.reconciliations = cluster.counters().Get("replica.conflicts");
+  out.unavailable = cluster.metrics().Get("scheme.unavailable");
+  out.reconciliations = cluster.metrics().Get("replica.conflicts");
   out.delusion_slots = checker.delusion_slots();
   out.catch_up_objects = sys.lazy_master().catch_up_objects();
   out.violations = checker.violations_total();
@@ -272,6 +372,8 @@ ChaosOutcome RunChaosTwoTier(const ChaosConfig& cfg) {
   out.base_committed = sys.base_committed();
   out.base_rejected = sys.base_rejected();
   FillNetAndFaultStats(injector, &out);
+  out.metrics = cluster.metrics().Snapshot();
+  EmitChaosArtifacts(cfg, out, trace, recorder.Series(), cluster.metrics());
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "fault/fault_plan.h"
 #include "fault/invariant_checker.h"
+#include "obs/metrics.h"
 #include "util/sim_time.h"
 
 namespace tdr::workload {
@@ -30,6 +31,14 @@ struct ChaosConfig {
   std::uint32_t num_mobile = 2;
   /// Two-tier only: tentative transactions per mobile per cycle.
   std::uint32_t tentative_per_cycle = 3;
+  /// If non-empty, write a Chrome trace-event JSON of the run here
+  /// (load in https://ui.perfetto.dev): per-node transaction slices,
+  /// commit -> replica-apply flow arrows, faults on their own track.
+  std::string trace_path;
+  /// If non-empty, write a RunReport JSON (schema tdr.run_report.v1)
+  /// here: config, metrics snapshot, committed/applied time series, and
+  /// the invariant summary.
+  std::string report_path;
 };
 
 /// Everything a chaos run produces. `Fingerprint()` folds the final
@@ -59,6 +68,9 @@ struct ChaosOutcome {
   std::uint64_t tentative_submitted = 0;
   std::uint64_t base_committed = 0;
   std::uint64_t base_rejected = 0;
+  /// Deterministic metrics snapshot taken after the final drain — the
+  /// full registry, not just the headline counters above.
+  obs::MetricsSnapshot metrics;
 
   /// Order-sensitive digest over the final state and all counters above
   /// (violation details and the textual log excluded).

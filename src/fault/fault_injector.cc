@@ -92,7 +92,7 @@ void FaultInjector::Crash(NodeId node) {
   cluster_->net().Crash(node);
   crashed_by_us_.push_back(node);
   Log(StrPrintf("crash node=%u", node));
-  cluster_->counters().Increment("fault.crashes");
+  cluster_->metrics().Increment("fault.crashes");
 }
 
 void FaultInjector::Restart(NodeId node) {
@@ -102,14 +102,14 @@ void FaultInjector::Restart(NodeId node) {
       std::remove(crashed_by_us_.begin(), crashed_by_us_.end(), node),
       crashed_by_us_.end());
   Log(StrPrintf("restart node=%u", node));
-  cluster_->counters().Increment("fault.restarts");
+  cluster_->metrics().Increment("fault.restarts");
 }
 
 void FaultInjector::CutLink(NodeId a, NodeId b) {
   if (a == b) return;
   Separate(a, b, +1);
   Log(StrPrintf("cut-link (%u,%u)", a, b));
-  cluster_->counters().Increment("fault.link_cuts");
+  cluster_->metrics().Increment("fault.link_cuts");
 }
 
 void FaultInjector::HealLink(NodeId a, NodeId b) {
@@ -118,7 +118,7 @@ void FaultInjector::HealLink(NodeId a, NodeId b) {
   if (it == separation_.end()) return;
   Separate(a, b, -1);
   Log(StrPrintf("heal-link (%u,%u)", a, b));
-  cluster_->counters().Increment("fault.link_heals");
+  cluster_->metrics().Increment("fault.link_heals");
 }
 
 void FaultInjector::StartPartition(const std::string& name,
@@ -137,7 +137,7 @@ void FaultInjector::StartPartition(const std::string& name,
   Log(StrPrintf("partition \"%s\" (%zu nodes split off)", name.c_str(),
                 group.size()));
   active_partitions_[name] = std::move(group);
-  cluster_->counters().Increment("fault.partitions");
+  cluster_->metrics().Increment("fault.partitions");
 }
 
 void FaultInjector::HealPartition(const std::string& name) {
@@ -154,7 +154,7 @@ void FaultInjector::HealPartition(const std::string& name) {
   }
   active_partitions_.erase(it);
   Log(StrPrintf("heal-partition \"%s\"", name.c_str()));
-  cluster_->counters().Increment("fault.partition_heals");
+  cluster_->metrics().Increment("fault.partition_heals");
 }
 
 void FaultInjector::SetChaosActive(bool active) {
@@ -193,18 +193,18 @@ Network::InterceptVerdict FaultInjector::OnTransmit(NodeId from, NodeId to) {
   bool delay = rng_.Bernoulli(chaos.delay_probability);
   if (drop) {
     ++injected_drops_;
-    cluster_->counters().Increment("fault.injected_drops");
+    cluster_->metrics().Increment("fault.injected_drops");
     v.drop = true;
     return v;
   }
   if (dup) {
     ++injected_duplicates_;
-    cluster_->counters().Increment("fault.injected_duplicates");
+    cluster_->metrics().Increment("fault.injected_duplicates");
     v.copies = 2;
   }
   if (delay && chaos.max_extra_delay > SimTime::Zero()) {
     ++injected_delays_;
-    cluster_->counters().Increment("fault.injected_delays");
+    cluster_->metrics().Increment("fault.injected_delays");
     v.extra_delay = SimTime::Micros(
         1 + rng_.UniformInt(
                 static_cast<std::uint64_t>(chaos.max_extra_delay.micros())));
@@ -213,6 +213,7 @@ Network::InterceptVerdict FaultInjector::OnTransmit(NodeId from, NodeId to) {
 }
 
 void FaultInjector::Log(std::string entry) {
+  if (observer_) observer_(cluster_->sim().Now(), entry);
   applied_log_.push_back(
       StrPrintf("[t=%.6fs] ", cluster_->sim().Now().seconds()) +
       std::move(entry));

@@ -2,6 +2,7 @@
 #define TDR_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -71,6 +72,15 @@ class FaultInjector : public Network::MessageInterceptor {
   const std::vector<std::string>& applied_log() const { return applied_log_; }
   std::string AppliedLogString() const;
 
+  /// Observer invoked once per applied fault, at the fault's simulated
+  /// time, with the log entry (before the "[t=...]" prefix is added).
+  /// ChromeTraceWriter::OnFault plugs in here to put faults on their
+  /// own trace track. Null detaches.
+  using FaultObserver = std::function<void(SimTime, const std::string&)>;
+  void set_observer(FaultObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   // Network::MessageInterceptor:
   Network::InterceptVerdict OnTransmit(NodeId from, NodeId to) override;
 
@@ -90,6 +100,7 @@ class FaultInjector : public Network::MessageInterceptor {
   std::vector<NodeId> crashed_by_us_;
   std::vector<sim::EventId> scheduled_;
   std::vector<std::string> applied_log_;
+  FaultObserver observer_;
   std::uint64_t injected_drops_ = 0;
   std::uint64_t injected_duplicates_ = 0;
   std::uint64_t injected_delays_ = 0;

@@ -80,7 +80,7 @@ void InvariantChecker::CheckNow() {
   if (options_.scheme == SchemeClass::kQuorum && options_.quorum != nullptr) {
     CheckQuorumIntersection();
   }
-  cluster_->counters().Increment("invariant.sweeps");
+  cluster_->metrics().Increment("invariant.sweeps");
 }
 
 void InvariantChecker::CheckFinal() {
@@ -189,7 +189,7 @@ void InvariantChecker::CheckConvergence() {
     // Divergence here is the paper's system delusion — the invariant is
     // that we DETECT it, not that it is absent.
     delusion_slots_ = cluster_->DivergentSlots();
-    cluster_->counters().Increment("invariant.delusion_slots",
+    cluster_->metrics().Increment("invariant.delusion_slots",
                                    delusion_slots_);
     return;
   }
@@ -241,7 +241,7 @@ void InvariantChecker::CheckTwoTierLedger() {
 
 void InvariantChecker::Report(const char* invariant, std::string detail) {
   ++violations_total_;
-  cluster_->counters().Increment("invariant.violations");
+  cluster_->metrics().Increment("invariant.violations");
   if (violations_.size() >= options_.max_recorded) return;
   Violation v;
   v.invariant = invariant;

@@ -6,21 +6,32 @@
 namespace tdr {
 
 Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
-                 Options options, CounterRegistry* counters)
+                 Options options, obs::MetricsRegistry* metrics)
     : sim_(sim),
       nodes_(std::move(nodes)),
       options_(options),
-      counters_(counters),
       outbox_(nodes_.size()),
       inbox_(nodes_.size()),
       link_up_(nodes_.size() * nodes_.size(), 1),
       on_reconnect_(nodes_.size()),
-      on_disconnect_(nodes_.size()) {}
+      on_disconnect_(nodes_.size()) {
+  if (metrics != nullptr) {
+    m_sent_ = metrics->GetCounter("net.sent");
+    m_held_ = metrics->GetCounter("net.held");
+    m_dropped_ = metrics->GetCounter("net.dropped");
+    m_duplicated_ = metrics->GetCounter("net.duplicated");
+    m_crash_dropped_ = metrics->GetCounter("net.crash_dropped");
+    m_delivered_ = metrics->GetCounter("net.delivered");
+    m_inbox_lost_ = metrics->GetCounter("net.inbox_lost");
+    m_crashes_ = metrics->GetCounter("net.crashes");
+    m_restarts_ = metrics->GetCounter("net.restarts");
+  }
+}
 
 void Network::Send(NodeId from, NodeId to, Handler fn) {
   assert(from < nodes_.size() && to < nodes_.size());
   ++sent_;
-  if (counters_ != nullptr) counters_->Increment("net.sent");
+  m_sent_.Increment();
   if (from != to && !nodes_[from]->connected()) {
     // Sender offline: hold in its outbox until reconnect.
     ++queued_;
@@ -37,7 +48,7 @@ void Network::Transmit(NodeId from, NodeId to, Handler fn) {
     if (!LinkUp(from, to)) {
       // Link cut: park on the link; SetLinkUp(..., true) resumes us.
       ++held_total_;
-      if (counters_ != nullptr) counters_->Increment("net.held");
+      m_held_.Increment();
       held_[{from, to}].push_back(Pending{from, to, std::move(fn)});
       return;
     }
@@ -45,16 +56,14 @@ void Network::Transmit(NodeId from, NodeId to, Handler fn) {
       InterceptVerdict v = interceptor_->OnTransmit(from, to);
       if (v.drop || v.copies == 0) {
         ++dropped_;
-        if (counters_ != nullptr) counters_->Increment("net.dropped");
+        m_dropped_.Increment();
         return;
       }
       copies = v.copies;
       extra = v.extra_delay;
       if (copies > 1) {
         duplicated_ += copies - 1;
-        if (counters_ != nullptr) {
-          counters_->Increment("net.duplicated", copies - 1);
-        }
+        m_duplicated_.Increment(copies - 1);
       }
     }
   }
@@ -75,7 +84,7 @@ void Network::Arrive(NodeId from, NodeId to, Handler fn) {
     // lost (the sender-side out_log, not this copy, is what recovery
     // replays).
     ++dropped_;
-    if (counters_ != nullptr) counters_->Increment("net.crash_dropped");
+    m_crash_dropped_.Increment();
     return;
   }
   if (from != to && !nodes_[to]->connected()) {
@@ -85,7 +94,7 @@ void Network::Arrive(NodeId from, NodeId to, Handler fn) {
     return;
   }
   ++delivered_;
-  if (counters_ != nullptr) counters_->Increment("net.delivered");
+  m_delivered_.Increment();
   fn();
 }
 
@@ -115,7 +124,7 @@ void Network::SetConnected(NodeId node, bool connected) {
   inbox_[node].clear();
   for (Pending& p : in) {
     ++delivered_;
-    if (counters_ != nullptr) counters_->Increment("net.delivered");
+    m_delivered_.Increment();
     p.fn();
   }
   for (const auto& fn : on_reconnect_[node]) fn();
@@ -178,9 +187,9 @@ void Network::Crash(NodeId node) {
   if (lost > 0) {
     inbox_[node].clear();
     dropped_ += lost;
-    if (counters_ != nullptr) counters_->Increment("net.inbox_lost", lost);
+    m_inbox_lost_.Increment(lost);
   }
-  if (counters_ != nullptr) counters_->Increment("net.crashes");
+  m_crashes_.Increment();
 }
 
 void Network::Restart(NodeId node) {
@@ -188,7 +197,7 @@ void Network::Restart(NodeId node) {
   Node* n = nodes_[node];
   if (!n->crashed()) return;
   n->set_crashed(false);
-  if (counters_ != nullptr) counters_->Increment("net.restarts");
+  m_restarts_.Increment();
   // Reconnecting flushes the surviving outbox (log recovery) and fires
   // the reconnect hooks so schemes run their catch-up protocols.
   SetConnected(node, true);

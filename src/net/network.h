@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "txn/node.h"
 #include "util/rng.h"
@@ -74,8 +75,9 @@ class Network {
     virtual InterceptVerdict OnTransmit(NodeId from, NodeId to) = 0;
   };
 
+  /// `metrics` may be null (uninstrumented network).
   Network(sim::Simulator* sim, std::vector<Node*> nodes, Options options,
-          CounterRegistry* counters);
+          obs::MetricsRegistry* metrics);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -161,7 +163,17 @@ class Network {
   sim::Simulator* sim_;
   std::vector<Node*> nodes_;
   Options options_;
-  CounterRegistry* counters_;
+  // Cached metric handles (no-ops without a registry); Send/Transmit/
+  // Arrive are the hottest paths in large sweeps.
+  obs::MetricsRegistry::Counter m_sent_;
+  obs::MetricsRegistry::Counter m_held_;
+  obs::MetricsRegistry::Counter m_dropped_;
+  obs::MetricsRegistry::Counter m_duplicated_;
+  obs::MetricsRegistry::Counter m_crash_dropped_;
+  obs::MetricsRegistry::Counter m_delivered_;
+  obs::MetricsRegistry::Counter m_inbox_lost_;
+  obs::MetricsRegistry::Counter m_crashes_;
+  obs::MetricsRegistry::Counter m_restarts_;
   MessageInterceptor* interceptor_ = nullptr;
   std::vector<std::deque<Pending>> outbox_;  // per sender
   std::vector<std::deque<Pending>> inbox_;   // per receiver

@@ -10,8 +10,8 @@ Cluster::Cluster(Options options)
         id, options_.db_size, &graph_, options_.detect_deadlock_cycles));
   }
   net_ = std::make_unique<Network>(&sim_, node_ptrs(), options_.net,
-                                   &counters_);
-  exec_ = std::make_unique<Executor>(&sim_, node_ptrs(), &counters_);
+                                   metrics_or_null());
+  exec_ = std::make_unique<Executor>(&sim_, node_ptrs(), metrics_or_null());
 }
 
 std::vector<Node*> Cluster::node_ptrs() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "txn/executor.h"
 #include "txn/node.h"
@@ -31,6 +32,11 @@ class Cluster {
     /// detection. Turn off to rely on executor wait timeouts instead
     /// (production-style detection; see the A4 ablation).
     bool detect_deadlock_cycles = true;
+    /// If false, Executor/Network/schemes are built with no registry —
+    /// every metric handle degrades to a no-op. This is the baseline
+    /// bench_headline compares against to bound instrumentation
+    /// overhead; metrics() still exists but stays empty.
+    bool enable_metrics = true;
   };
 
   explicit Cluster(Options options);
@@ -41,8 +47,12 @@ class Cluster {
   sim::Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
   Executor& executor() { return *exec_; }
-  CounterRegistry& counters() { return counters_; }
-  const CounterRegistry& counters() const { return counters_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The registry to hand to components: null when metrics are off.
+  obs::MetricsRegistry* metrics_or_null() {
+    return options_.enable_metrics ? &metrics_ : nullptr;
+  }
   WaitForGraph& graph() { return graph_; }
 
   std::uint32_t size() const {
@@ -80,7 +90,7 @@ class Cluster {
   sim::Simulator sim_;
   WaitForGraph graph_;
   Rng rng_;
-  CounterRegistry counters_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Executor> exec_;

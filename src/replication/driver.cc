@@ -1,5 +1,6 @@
 #include "replication/driver.h"
 
+#include "obs/profile.h"
 #include "replication/lazy_group.h"
 #include "util/logging.h"
 
@@ -37,18 +38,18 @@ std::uint64_t WorkloadDriver::CurrentReconciliations() const {
   auto* lazy_group = dynamic_cast<LazyGroupScheme*>(scheme_);
   return lazy_group != nullptr
              ? lazy_group->reconciliations()
-             : cluster_->counters().Get("replica.conflicts");
+             : cluster_->metrics().Get("replica.conflicts");
 }
 
 WorkloadDriver::Baseline WorkloadDriver::Snapshot() const {
   Baseline b;
   b.committed = cluster_->executor().committed();
   b.deadlocks = cluster_->executor().deadlocked();
-  b.waits = cluster_->counters().Get("lock.waits");
+  b.waits = cluster_->metrics().Get("lock.waits");
   b.reconciliations = CurrentReconciliations();
-  b.unavailable = cluster_->counters().Get("scheme.unavailable");
-  b.replica_deadlocks = cluster_->counters().Get("replica.deadlocks");
-  b.replica_applied = cluster_->counters().Get("replica.applied");
+  b.unavailable = cluster_->metrics().Get("scheme.unavailable");
+  b.replica_deadlocks = cluster_->metrics().Get("replica.deadlocks");
+  b.replica_applied = cluster_->metrics().Get("replica.applied");
   b.wait_timeouts = cluster_->executor().wait_timeouts();
   return b;
 }
@@ -65,25 +66,39 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     aopts.tps = options_.tps_per_node;
     aopts.poisson = options_.poisson_arrivals;
     auto gen_rng = std::make_shared<Rng>(rng.Fork());
+    // Per-origin submission counter, labeled by node — handle acquired
+    // once here, bumped allocation-free on every arrival.
+    obs::MetricsRegistry::Counter submitted_at =
+        cluster_->metrics().GetCounter(
+            "driver.submitted",
+            {{"node", std::to_string(origin)}});
     arrivals.push_back(std::make_unique<OpenLoopArrivals>(
         &cluster_->sim(), aopts, rng.Fork(),
-        [this, &outcome, origin, gen_rng]() {
+        [this, &outcome, origin, gen_rng, submitted_at]() mutable {
           if (cluster_->node(origin)->crashed()) {
             // A crashed node originates nothing; its arrival stream
             // still ticks (and consumes randomness) so the fault does
             // not perturb other nodes' workloads.
-            cluster_->counters().Increment("driver.skipped_crashed");
+            cluster_->metrics().Increment("driver.skipped_crashed");
             (void)generator_.Next(*gen_rng);
             return;
           }
           ++outcome.submitted;
+          submitted_at.Increment();
           scheme_->Submit(origin, generator_.Next(*gen_rng), nullptr);
         }));
     arrivals.back()->Start();
   }
   SimTime horizon =
       cluster_->sim().Now() + SimTime::Seconds(options_.seconds);
-  cluster_->sim().RunUntil(horizon);
+  {
+    // Wall-clock cost of the whole event loop for this window — the
+    // profile section of run reports (kProfile: never part of
+    // deterministic snapshots).
+    obs::ProfileScope scope(
+        cluster_->metrics().GetProfile("profile.event_loop"));
+    cluster_->sim().RunUntil(horizon);
+  }
   for (auto& a : arrivals) a->Stop();
 
   Baseline after = Snapshot();

@@ -29,7 +29,7 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
                               DoneCallback done) {
   if (!cluster_->node(origin)->connected() ||
       (options_.require_all_connected && !AllReachable(cluster_, origin))) {
-    cluster_->counters().Increment("scheme.unavailable");
+    cluster_->metrics().Increment("scheme.unavailable");
     if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
     return;
   }
@@ -64,7 +64,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
                                DoneCallback done) {
   if (!cluster_->node(origin)->connected() ||
       (options_.require_all_connected && !AllReachable(cluster_, origin))) {
-    cluster_->counters().Increment("scheme.unavailable");
+    cluster_->metrics().Increment("scheme.unavailable");
     if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
     return;
   }
@@ -73,7 +73,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
   for (const Op& op : program.ops()) {
     if (op.IsWrite() &&
         !cluster_->net().Reachable(origin, ownership_->OwnerOf(op.oid))) {
-      cluster_->counters().Increment("scheme.unavailable");
+      cluster_->metrics().Increment("scheme.unavailable");
       if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
       return;
     }

@@ -7,7 +7,7 @@ namespace tdr {
 LazyGroupScheme::LazyGroupScheme(Cluster* cluster, Options options)
     : cluster_(cluster),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(), &cluster->counters()) {
+      applier_(&cluster->sim(), &cluster->executor(), cluster->metrics_or_null()) {
   if (options_.batch_interval > SimTime::Zero()) {
     for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
       flusher_series_.push_back(cluster_->sim().RepeatEvery(
@@ -58,7 +58,7 @@ void LazyGroupScheme::Propagate(const TxnResult& result) {
 void LazyGroupScheme::FlushBatches(NodeId origin) {
   Node* node = cluster_->node(origin);
   if (node->out_log().empty()) return;
-  cluster_->counters().Increment("lazy_group.batches");
+  cluster_->metrics().Increment("lazy_group.batches");
   Ship(origin, node->out_log().DrainAll());
 }
 
@@ -90,7 +90,7 @@ void LazyGroupScheme::Ship(NodeId origin,
                            reconciliations_ += report.conflicts;
                            replica_applied_ += report.applied;
                            if (report.conflicts > 0) {
-                             cluster_->counters().Increment(
+                             cluster_->metrics().Increment(
                                  "lazy_group.reconciliations",
                                  report.conflicts);
                            }

@@ -11,7 +11,7 @@ LazyMasterScheme::LazyMasterScheme(Cluster* cluster,
     : cluster_(cluster),
       ownership_(ownership),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(), &cluster->counters()) {
+      applier_(&cluster->sim(), &cluster->executor(), cluster->metrics_or_null()) {
   if (options_.reconnect_catch_up) {
     for (NodeId id = 0; id < cluster_->size(); ++id) {
       cluster_->net().OnReconnect(id, [this, id]() { CatchUpNode(id); });
@@ -45,7 +45,7 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
     }
   }
   if (!reachable) {
-    cluster_->counters().Increment("scheme.unavailable");
+    cluster_->metrics().Increment("scheme.unavailable");
     TxnResult r;
     r.origin = origin;
     r.outcome = TxnOutcome::kUnavailable;
@@ -90,7 +90,7 @@ void LazyMasterScheme::CatchUpNode(NodeId node) {
     (void)s;
     if (applied) {
       ++catch_up_objects_;
-      cluster_->counters().Increment("lazy_master.catch_up_objects");
+      cluster_->metrics().Increment("lazy_master.catch_up_objects");
     }
   }
 }

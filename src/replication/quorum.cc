@@ -57,7 +57,7 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
                                DoneCallback done) {
   if (!cluster_->node(origin)->connected() ||
       !WriteQuorumAvailableAt(origin)) {
-    cluster_->counters().Increment("scheme.unavailable");
+    cluster_->metrics().Increment("scheme.unavailable");
     TxnResult r;
     r.origin = origin;
     r.outcome = TxnOutcome::kUnavailable;
@@ -182,7 +182,7 @@ void QuorumEagerScheme::CatchUp(NodeId rejoined) {
     (void)s;
     if (applied) {
       ++catch_up_objects_;
-      cluster_->counters().Increment("quorum.catch_up_objects");
+      cluster_->metrics().Increment("quorum.catch_up_objects");
     }
   }
 }

@@ -119,7 +119,7 @@ DivergenceRepair::Report DivergenceRepair::Execute(
       (void)s;
       ++report.replicas_patched;
     }
-    cluster_->counters().Increment("repair.objects");
+    cluster_->metrics().Increment("repair.objects");
   }
   return report;
 }

@@ -3,13 +3,10 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace tdr {
-
-void ReplicaApplier::Bump(const char* counter, std::uint64_t delta) {
-  if (counters_ != nullptr) counters_->Increment(counter, delta);
-}
 
 void ReplicaApplier::Emit(TraceEventType type, const Job& job,
                           ObjectId oid, std::string detail) {
@@ -20,6 +17,10 @@ void ReplicaApplier::Emit(TraceEventType type, const Job& job,
   event.txn = job.txn;
   event.node = job.node->id();
   event.oid = oid;
+  // The origin transaction whose updates this replica txn applies (a
+  // batch carries one origin txn's writes) — what lets trace exporters
+  // draw commit -> apply flow arrows.
+  if (!job.records.empty()) event.root = job.records[0].txn;
   event.detail = std::move(detail);
   trace_->OnEvent(event);
 }
@@ -67,7 +68,7 @@ void ReplicaApplier::AcquireNext(std::shared_ptr<Job> job) {
       });
       return;
     case LockManager::AcquireOutcome::kQueued:
-      Bump("replica.waits");
+      m_waits_.Increment();
       return;  // grant callback continues the job
     case LockManager::AcquireOutcome::kDeadlock:
       HandleDeadlock(std::move(job));
@@ -76,6 +77,7 @@ void ReplicaApplier::AcquireNext(std::shared_ptr<Job> job) {
 }
 
 void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
+  obs::ProfileScope profile(m_profile_apply_);
   const UpdateRecord& rec = job->records[job->idx];
   Node* node = job->node;
   node->clock().Observe(rec.new_ts);
@@ -84,7 +86,7 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
                                                      rec.old_ts, rec.new_ts);
     if (s.ok()) {
       ++job->report.applied;
-      Bump("replica.applied");
+      m_applied_.Increment();
       Emit(TraceEventType::kReplicaApply, *job, rec.oid,
            StrPrintf("<- %s", rec.new_value.ToString().c_str()));
     } else if (s.IsConflict()) {
@@ -92,7 +94,7 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
       // reconciliation. The local value stays; divergence is now visible
       // until someone reconciles.
       ++job->report.conflicts;
-      Bump("replica.conflicts");
+      m_conflicts_.Increment();
       Emit(TraceEventType::kReplicaConflict, *job, rec.oid, s.message());
     } else {
       assert(false && "unexpected replica apply failure");
@@ -106,12 +108,12 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
     (void)s;
     if (applied) {
       ++job->report.applied;
-      Bump("replica.applied");
+      m_applied_.Increment();
       Emit(TraceEventType::kReplicaApply, *job, rec.oid,
            StrPrintf("<- %s", rec.new_value.ToString().c_str()));
     } else {
       ++job->report.stale;
-      Bump("replica.stale");
+      m_stale_.Increment();
       Emit(TraceEventType::kReplicaStale, *job, rec.oid);
     }
   }
@@ -120,13 +122,13 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
 }
 
 void ReplicaApplier::HandleDeadlock(std::shared_ptr<Job> job) {
-  Bump("replica.deadlocks");
+  m_deadlocks_.Increment();
   job->node->locks().ReleaseAll(job->txn);
   ++job->report.deadlock_retries;
   if (!job->options.retry_on_deadlock ||
       job->report.deadlock_retries > job->options.max_retries) {
     job->report.gave_up = true;
-    Bump("replica.gave_up");
+    m_gave_up_.Increment();
     FinishJob(std::move(job));
     return;
   }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "storage/update_log.h"
 #include "txn/executor.h"
@@ -58,10 +59,20 @@ class ReplicaApplier {
   using Done = std::function<void(const Report&)>;
 
   /// `executor` supplies transaction ids (shared id space keeps the
-  /// global wait-for graph sound); `counters` may be null.
+  /// global wait-for graph sound); `metrics` may be null.
   ReplicaApplier(sim::Simulator* sim, Executor* executor,
-                 CounterRegistry* counters)
-      : sim_(sim), executor_(executor), counters_(counters) {}
+                 obs::MetricsRegistry* metrics)
+      : sim_(sim), executor_(executor) {
+    if (metrics != nullptr) {
+      m_waits_ = metrics->GetCounter("replica.waits");
+      m_applied_ = metrics->GetCounter("replica.applied");
+      m_conflicts_ = metrics->GetCounter("replica.conflicts");
+      m_stale_ = metrics->GetCounter("replica.stale");
+      m_deadlocks_ = metrics->GetCounter("replica.deadlocks");
+      m_gave_up_ = metrics->GetCounter("replica.gave_up");
+      m_profile_apply_ = metrics->GetProfile("profile.replica_apply");
+    }
+  }
 
   ReplicaApplier(const ReplicaApplier&) = delete;
   ReplicaApplier& operator=(const ReplicaApplier&) = delete;
@@ -92,13 +103,19 @@ class ReplicaApplier {
   void ApplyCurrent(std::shared_ptr<Job> job);
   void HandleDeadlock(std::shared_ptr<Job> job);
   void FinishJob(std::shared_ptr<Job> job);
-  void Bump(const char* counter, std::uint64_t delta = 1);
   void Emit(TraceEventType type, const Job& job, ObjectId oid,
             std::string detail = "");
 
   sim::Simulator* sim_;
   Executor* executor_;
-  CounterRegistry* counters_;
+  // Cached metric handles; no-ops when built without a registry.
+  obs::MetricsRegistry::Counter m_waits_;
+  obs::MetricsRegistry::Counter m_applied_;
+  obs::MetricsRegistry::Counter m_conflicts_;
+  obs::MetricsRegistry::Counter m_stale_;
+  obs::MetricsRegistry::Counter m_deadlocks_;
+  obs::MetricsRegistry::Counter m_gave_up_;
+  obs::MetricsRegistry::StatsHandle m_profile_apply_;
   TraceSink* trace_ = nullptr;
   std::size_t active_ = 0;
 };

@@ -20,13 +20,13 @@ void RetryingSubmitter::Attempt(NodeId origin, Program program,
             attempt >= options_.max_retries) {
           if (result.outcome == TxnOutcome::kDeadlock) {
             ++gave_up_;
-            cluster_->counters().Increment("retry.gave_up");
+            cluster_->metrics().Increment("retry.gave_up");
           }
           if (done) done(result);
           return;
         }
         ++retries_;
-        cluster_->counters().Increment("retry.resubmitted");
+        cluster_->metrics().Increment("retry.resubmitted");
         SimTime backoff = options_.backoff;
         if (options_.exponential_backoff) {
           std::int64_t factor = 1;

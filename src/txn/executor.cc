@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace tdr {
@@ -22,15 +23,21 @@ std::string_view TxnOutcomeToString(TxnOutcome outcome) {
 }
 
 Executor::Executor(sim::Simulator* sim, std::vector<Node*> nodes,
-                   CounterRegistry* counters)
-    : sim_(sim), nodes_(std::move(nodes)), counters_(counters) {
+                   obs::MetricsRegistry* metrics)
+    : sim_(sim), nodes_(std::move(nodes)) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     assert(nodes_[i] != nullptr && nodes_[i]->id() == i);
   }
-}
-
-void Executor::Bump(const char* counter) {
-  if (counters_ != nullptr) counters_->Increment(counter);
+  if (metrics != nullptr) {
+    m_started_ = metrics->GetCounter("txn.started");
+    m_lock_waits_ = metrics->GetCounter("lock.waits");
+    m_deadlocks_ = metrics->GetCounter("txn.deadlocks");
+    m_wait_timeouts_ = metrics->GetCounter("txn.wait_timeouts");
+    m_committed_ = metrics->GetCounter("txn.committed");
+    m_rejected_ = metrics->GetCounter("txn.rejected");
+    m_wait_micros_ = metrics->GetHistogram("lock.wait_micros");
+    m_profile_acquire_ = metrics->GetProfile("profile.lock_acquire");
+  }
 }
 
 void Executor::Emit(TraceEventType type, const Inflight* t, NodeId node,
@@ -60,7 +67,7 @@ TxnId Executor::Run(NodeId origin, std::vector<ExecStep> steps,
   t->result.start_time = sim_->Now();
   Inflight* raw = t.get();
   inflight_.emplace(id, std::move(t));
-  Bump("txn.started");
+  m_started_.Increment();
   Emit(TraceEventType::kTxnStart, raw, origin, 0,
        StrPrintf("%zu steps", raw->steps.size()));
   StepAcquire(raw);
@@ -68,6 +75,7 @@ TxnId Executor::Run(NodeId origin, std::vector<ExecStep> steps,
 }
 
 void Executor::StepAcquire(Inflight* t) {
+  obs::ProfileScope profile(m_profile_acquire_);
   if (t->pc >= t->steps.size()) {
     // All steps applied. Build the update records now (with a
     // placeholder commit timestamp) so the precommit hook — the
@@ -103,6 +111,7 @@ void Executor::StepAcquire(Inflight* t) {
         SimTime waited = sim_->Now() - t2->wait_started;
         t2->result.wait_time += waited;
         wait_hist_.Add(static_cast<std::uint64_t>(waited.micros()));
+        m_wait_micros_.Record(static_cast<std::uint64_t>(waited.micros()));
         const ExecStep& granted = t2->steps[t2->pc];
         Emit(TraceEventType::kLockGrant, t2, granted.node, granted.op.oid,
              StrPrintf("after %s", waited.ToString().c_str()));
@@ -115,7 +124,7 @@ void Executor::StepAcquire(Inflight* t) {
     case LockManager::AcquireOutcome::kQueued: {
       ++t->result.waits;
       t->wait_started = sim_->Now();
-      Bump("lock.waits");
+      m_lock_waits_.Increment();
       Emit(TraceEventType::kLockWait, t, step.node, step.op.oid);
       if (t->opts.wait_timeout > SimTime::Zero()) {
         NodeId wait_node = step.node;
@@ -132,14 +141,14 @@ void Executor::StepAcquire(Inflight* t) {
               }
               t2->result.timed_out = true;
               ++wait_timeouts_;
-              Bump("txn.wait_timeouts");
+              m_wait_timeouts_.Increment();
               Abort(t2, TxnOutcome::kDeadlock);
             });
       }
       return;
     }
     case LockManager::AcquireOutcome::kDeadlock:
-      Bump("txn.deadlocks");
+      m_deadlocks_.Increment();
       Abort(t, TxnOutcome::kDeadlock);
       return;
   }
@@ -294,7 +303,7 @@ void Executor::Commit(Inflight* t) {
   t->result.outcome = TxnOutcome::kCommitted;
   t->result.end_time = sim_->Now();
   ++committed_;
-  Bump("txn.committed");
+  m_committed_.Increment();
   Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
        StrPrintf("ts=%s", commit_ts.ToString().c_str()));
   Finish(t);
@@ -311,7 +320,7 @@ void Executor::Abort(Inflight* t, TxnOutcome outcome) {
     ++deadlocked_;
   } else {
     ++rejected_;
-    Bump("txn.rejected");
+    m_rejected_.Increment();
   }
   Emit(TraceEventType::kTxnAbort, t, t->origin, 0,
        std::string(TxnOutcomeToString(outcome)));

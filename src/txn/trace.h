@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "storage/types.h"
@@ -36,6 +37,11 @@ struct TraceEvent {
   TxnId txn = kInvalidTxnId;
   NodeId node = 0;
   ObjectId oid = 0;
+  /// For replica-side events: the ORIGIN transaction whose updates are
+  /// being applied (kInvalidTxnId when not applicable). This is what
+  /// lets trace exporters draw a flow from a commit at the origin node
+  /// to its replica applications elsewhere.
+  TxnId root = kInvalidTxnId;
   std::string detail;
 
   std::string ToString() const;

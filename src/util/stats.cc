@@ -149,32 +149,4 @@ std::string Histogram::ToString() const {
   return buf;
 }
 
-void CounterRegistry::Increment(const std::string& name,
-                                std::uint64_t delta) {
-  counters_[name] += delta;
-}
-
-std::uint64_t CounterRegistry::Get(const std::string& name) const {
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
-}
-
-void CounterRegistry::Reset() { counters_.clear(); }
-
-std::vector<std::pair<std::string, std::uint64_t>>
-CounterRegistry::Snapshot() const {
-  return {counters_.begin(), counters_.end()};
-}
-
-std::string CounterRegistry::ToString() const {
-  std::string out;
-  for (const auto& [name, value] : counters_) {
-    out += name;
-    out += '=';
-    out += std::to_string(value);
-    out += '\n';
-  }
-  return out;
-}
-
 }  // namespace tdr

@@ -78,24 +78,6 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
-/// Named monotonic counters, the simulator's metrics sink. Each cluster
-/// owns one registry; replication schemes bump counters like
-/// "deadlocks", "reconciliations", "waits", "replica_updates_applied".
-class CounterRegistry {
- public:
-  void Increment(const std::string& name, std::uint64_t delta = 1);
-  std::uint64_t Get(const std::string& name) const;
-  void Reset();
-
-  /// Stable (sorted) snapshot for printing.
-  std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
-
-  std::string ToString() const;
-
- private:
-  std::map<std::string, std::uint64_t> counters_;
-};
-
 }  // namespace tdr
 
 #endif  // TDR_UTIL_STATS_H_

@@ -80,13 +80,13 @@ TEST(ClusterTest, ForkRngDeterministicPerSeed) {
 
 TEST(ClusterTest, CountersSharedAcrossComponents) {
   Cluster cluster(ThreeNodes());
-  cluster.counters().Increment("custom.metric", 3);
-  EXPECT_EQ(cluster.counters().Get("custom.metric"), 3u);
+  cluster.metrics().Increment("custom.metric", 3);
+  EXPECT_EQ(cluster.metrics().Get("custom.metric"), 3u);
   // Network shares the registry.
   cluster.net().Send(0, 1, [] {});
   cluster.sim().Run();
-  EXPECT_EQ(cluster.counters().Get("net.sent"), 1u);
-  EXPECT_EQ(cluster.counters().Get("net.delivered"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.sent"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.delivered"), 1u);
 }
 
 TEST(ClusterTest, DetectCyclesOffLeavesCyclesPending) {

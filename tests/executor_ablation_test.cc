@@ -31,7 +31,7 @@ class ExecutorAblationTest : public ::testing::Test {
 
   sim::Simulator sim_;
   WaitForGraph graph_;
-  CounterRegistry counters_;
+  obs::MetricsRegistry counters_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Executor> exec_;
 };

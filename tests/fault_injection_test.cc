@@ -102,8 +102,8 @@ TEST(CrashTest, CrashDiscardsInboxAndDropsArrivals) {
   cluster.sim().Run();
   EXPECT_FALSE(cluster.node(1)->crashed());
   EXPECT_EQ(delivered, 0);
-  EXPECT_EQ(cluster.counters().Get("net.crash_dropped"), 1u);
-  EXPECT_EQ(cluster.counters().Get("net.inbox_lost"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.crash_dropped"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.inbox_lost"), 1u);
 }
 
 TEST(CrashTest, OutboxSurvivesCrashAndFlushesAtRestart) {
@@ -121,8 +121,8 @@ TEST(CrashTest, OutboxSurvivesCrashAndFlushesAtRestart) {
   net.Restart(0);
   cluster.sim().Run();
   EXPECT_TRUE(delivered);
-  EXPECT_EQ(cluster.counters().Get("net.crashes"), 1u);
-  EXPECT_EQ(cluster.counters().Get("net.restarts"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.crashes"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("net.restarts"), 1u);
 }
 
 /// Interceptor with a scripted verdict per call, for exact assertions.
@@ -248,8 +248,8 @@ TEST(InjectorTest, ScheduledPlanAppliesAtItsTimes) {
   cluster.sim().RunUntil(SimTime::Seconds(5));
   EXPECT_FALSE(cluster.node(2)->crashed());
   EXPECT_TRUE(cluster.net().Reachable(0, 1));
-  EXPECT_EQ(cluster.counters().Get("fault.crashes"), 1u);
-  EXPECT_EQ(cluster.counters().Get("fault.restarts"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("fault.crashes"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("fault.restarts"), 1u);
   // The applied log names every fault with its event time.
   std::string log = injector.AppliedLogString();
   EXPECT_NE(log.find("crash node=2"), std::string::npos);

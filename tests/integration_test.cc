@@ -69,7 +69,7 @@ TEST(IntegrationTest, LazyMasterLongRunConvergesUnderChurn) {
     sum += cluster.node(0)->store().GetUnchecked(oid).value.AsScalar();
   }
   EXPECT_EQ(sum, committed_delta);
-  EXPECT_EQ(cluster.counters().Get("replica.conflicts"), 0u);
+  EXPECT_EQ(cluster.metrics().Get("replica.conflicts"), 0u);
   EXPECT_EQ(cluster.graph().EdgeCount(), 0u);
 }
 
@@ -131,7 +131,7 @@ TEST(IntegrationTest, LazyGroupMobileChurnShowsDelusionLazyMasterDoesNot) {
       std::uint64_t conflicts;
     };
     return R{cluster->DivergentSlots(),
-             cluster->counters().Get("replica.conflicts")};
+             cluster->metrics().Get("replica.conflicts")};
   };
 
   auto group = run(true);

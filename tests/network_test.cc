@@ -21,7 +21,7 @@ class NetworkTest : public ::testing::Test {
 
   sim::Simulator sim_;
   WaitForGraph graph_;
-  CounterRegistry counters_;
+  obs::MetricsRegistry counters_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Network> net_;
 };

@@ -1,0 +1,124 @@
+// The observability determinism contract: for the same (seed, config),
+// metrics snapshots, time series, and whole RunReport documents are
+// byte-identical across replays and across SweepRunner thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "obs/run_report.h"
+
+namespace tdr::bench {
+namespace {
+
+std::vector<SimConfig> SmallGrid() {
+  std::vector<SimConfig> grid;
+  for (SchemeKind kind :
+       {SchemeKind::kEagerGroup, SchemeKind::kLazyGroup,
+        SchemeKind::kLazyMaster}) {
+    SimConfig config;
+    config.kind = kind;
+    config.nodes = 3;
+    config.db_size = 100;
+    config.tps = 10;
+    config.actions = 3;
+    config.action_time = 0.005;
+    config.sim_seconds = 10;
+    config.record_series = true;
+    grid.push_back(config);
+  }
+  return grid;
+}
+
+obs::RunReport ReportFor(const std::vector<SimConfig>& grid,
+                         const std::vector<SimOutcome>& outcomes) {
+  obs::RunReport report = MakeReport("determinism", grid[0]);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    report.AddRow(ReportRow(grid[i], outcomes[i]));
+  }
+  // Fold every run's registry and series in; any nondeterminism in a
+  // single counter or bucket shows up as a byte difference.
+  obs::MetricsSnapshot merged;
+  obs::TimeSeriesStats series;
+  for (const SimOutcome& out : outcomes) {
+    merged.Merge(out.metrics);
+    series.Add(out.series);
+  }
+  report.SetMetrics(merged);
+  report.SetSeries(series);
+  // Deliberately no SetProfile: wall-clock timings are the one section
+  // outside the determinism contract.
+  return report;
+}
+
+TEST(ObsDeterminismTest, RunReportIdenticalAcrossSweepThreadCounts) {
+  std::vector<SimConfig> grid = SmallGrid();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+
+  std::vector<SimOutcome> a = RunSweep(grid, serial);
+  std::vector<SimOutcome> b = RunSweep(grid, parallel);
+  ASSERT_EQ(a.size(), b.size());
+
+  const std::string json_a = ReportFor(grid, a).ToJson();
+  const std::string json_b = ReportFor(grid, b).ToJson();
+  EXPECT_EQ(json_a, json_b);
+}
+
+TEST(ObsDeterminismTest, PerRunSnapshotsIdenticalAcrossThreadCounts) {
+  std::vector<SimConfig> grid = SmallGrid();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 3;
+  std::vector<SimOutcome> a = RunSweep(grid, serial);
+  std::vector<SimOutcome> b = RunSweep(grid, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(obs::RunReport::MetricsToJson(a[i].metrics).Dump(),
+              obs::RunReport::MetricsToJson(b[i].metrics).Dump())
+        << "run " << i;
+    EXPECT_EQ(obs::RunReport::SeriesToJson(a[i].series).Dump(),
+              obs::RunReport::SeriesToJson(b[i].series).Dump())
+        << "run " << i;
+  }
+}
+
+TEST(ObsDeterminismTest, RepeatedStatsIdenticalAcrossThreadCounts) {
+  SimConfig config = SmallGrid()[0];
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+  OutcomeStats a = RunRepeatedStats(config, 8, /*base_seed=*/99, serial);
+  OutcomeStats b = RunRepeatedStats(config, 8, /*base_seed=*/99, parallel);
+
+  EXPECT_EQ(a.committed_rate.count(), b.committed_rate.count());
+  EXPECT_EQ(a.committed_rate.mean(), b.committed_rate.mean());
+  EXPECT_EQ(a.deadlock_rate.mean(), b.deadlock_rate.mean());
+  EXPECT_EQ(obs::RunReport::MetricsToJson(a.metrics).Dump(),
+            obs::RunReport::MetricsToJson(b.metrics).Dump());
+  EXPECT_EQ(obs::RunReport::SeriesStatsToJson(a.series).Dump(),
+            obs::RunReport::SeriesStatsToJson(b.series).Dump());
+}
+
+TEST(ObsDeterminismTest, ReplayYieldsIdenticalReportBytes) {
+  SimConfig config = SmallGrid()[1];  // lazy group: reconciliation paths
+  SimOutcome first = RunScheme(config);
+  SimOutcome second = RunScheme(config);
+  EXPECT_EQ(obs::RunReport::MetricsToJson(first.metrics).Dump(),
+            obs::RunReport::MetricsToJson(second.metrics).Dump());
+  EXPECT_EQ(obs::RunReport::SeriesToJson(first.series).Dump(),
+            obs::RunReport::SeriesToJson(second.series).Dump());
+  EXPECT_EQ(ReportRow(config, first).Dump(),
+            ReportRow(config, second).Dump());
+}
+
+}  // namespace
+}  // namespace tdr::bench

@@ -1,0 +1,298 @@
+// MetricsRegistry and TimeSeriesRecorder units: handle caching, label
+// interning, deterministic snapshot order, Welford/histogram merge
+// parity, and sim-clock sampling.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
+#include "sim/simulator.h"
+
+namespace tdr::obs {
+namespace {
+
+// --- Handles ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandleCachingSharesOneCell) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter a = reg.GetCounter("txn.committed");
+  MetricsRegistry::Counter b = reg.GetCounter("txn.committed");
+  a.Increment();
+  b.Increment(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(reg.Get("txn.committed"), 5u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultHandlesAreNoOps) {
+  MetricsRegistry::Counter counter;
+  MetricsRegistry::Gauge gauge;
+  MetricsRegistry::HistogramHandle hist;
+  MetricsRegistry::StatsHandle stats;
+  counter.Increment();
+  gauge.Set(3.0);
+  gauge.Add(1.0);
+  hist.Record(10);
+  stats.Record(1.5);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.histogram(), nullptr);
+  EXPECT_EQ(stats.stats(), nullptr);
+  // ProfileScope on a no-op handle must also be safe.
+  { ProfileScope scope((MetricsRegistry::StatsHandle())); }
+}
+
+TEST(MetricsRegistryTest, HandlesSurviveFurtherRegistrations) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter first = reg.GetCounter("a.first");
+  // Push enough registrations to force slab growth; the deque never
+  // relocates, so `first` must stay valid.
+  for (int i = 0; i < 1000; ++i) {
+    reg.GetCounter("filler." + std::to_string(i));
+  }
+  first.Increment(7);
+  EXPECT_EQ(reg.Get("a.first"), 7u);
+}
+
+// --- Label interning --------------------------------------------------
+
+TEST(MetricsRegistryTest, LabeledHandlesShareCellPerLabelSet) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter n0 =
+      reg.GetCounter("driver.submitted", {{"node", "0"}});
+  MetricsRegistry::Counter n0_again =
+      reg.GetCounter("driver.submitted", {{"node", "0"}});
+  MetricsRegistry::Counter n1 =
+      reg.GetCounter("driver.submitted", {{"node", "1"}});
+  n0.Increment();
+  n0_again.Increment();
+  n1.Increment(10);
+  EXPECT_EQ(reg.Get("driver.submitted{node=0}"), 2u);
+  EXPECT_EQ(reg.Get("driver.submitted{node=1}"), 10u);
+  EXPECT_EQ(reg.label_sets_interned(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelKeysCanonicalizeSorted) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter ab =
+      reg.GetCounter("m", {{"b", "2"}, {"a", "1"}});
+  MetricsRegistry::Counter ba =
+      reg.GetCounter("m", {{"a", "1"}, {"b", "2"}});
+  ab.Increment();
+  ba.Increment();
+  // Both orders intern to one canonical suffix with sorted keys.
+  EXPECT_EQ(reg.Get("m{a=1,b=2}"), 2u);
+  EXPECT_EQ(reg.label_sets_interned(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+// --- Deterministic snapshots ------------------------------------------
+
+TEST(MetricsRegistryTest, SnapshotSortedRegardlessOfRegistrationOrder) {
+  MetricsRegistry forward, backward;
+  const std::vector<std::string> names = {"zeta", "alpha", "mid.point",
+                                          "alpha{node=2}"};
+  for (auto it = names.begin(); it != names.end(); ++it) {
+    forward.Increment(*it);
+  }
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    backward.Increment(*it);
+  }
+  MetricsSnapshot a = forward.Snapshot();
+  MetricsSnapshot b = backward.Snapshot();
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].name, b.metrics[i].name);
+    if (i > 0) EXPECT_LT(a.metrics[i - 1].name, a.metrics[i].name);
+  }
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(MetricsRegistryTest, ProfileExcludedFromSnapshotByDefault) {
+  MetricsRegistry reg;
+  reg.GetCounter("txn.committed").Increment();
+  { ProfileScope scope(reg.GetProfile("profile.event_loop")); }
+  MetricsSnapshot deterministic = reg.Snapshot();
+  EXPECT_EQ(deterministic.Find("profile.event_loop"), nullptr);
+  EXPECT_NE(deterministic.Find("txn.committed"), nullptr);
+
+  SnapshotOptions with_profile;
+  with_profile.include_profile = true;
+  MetricsSnapshot full = reg.Snapshot(with_profile);
+  const MetricValue* prof = full.Find("profile.event_loop");
+  ASSERT_NE(prof, nullptr);
+  EXPECT_EQ(prof->kind, MetricKind::kProfile);
+  EXPECT_EQ(prof->stats.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter c = reg.GetCounter("c");
+  MetricsRegistry::Gauge g = reg.GetGauge("g");
+  c.Increment(3);
+  g.Set(9.0);
+  reg.Reset();
+  EXPECT_EQ(reg.Get("c"), 0u);
+  EXPECT_EQ(reg.Value("g"), 0.0);
+  c.Increment();
+  g.Add(2.0);
+  EXPECT_EQ(reg.Get("c"), 1u);
+  EXPECT_EQ(reg.Value("g"), 2.0);
+}
+
+// --- Merge parity -----------------------------------------------------
+
+TEST(MetricsSnapshotTest, CounterAndHistogramMergeMatchesCombinedRun) {
+  // One registry sees all the data; two others split it. Merging the
+  // split snapshots must reproduce the combined one exactly (counters
+  // and histogram buckets are pure additions).
+  MetricsRegistry all, left, right;
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    all.GetHistogram("lock.wait_micros").Record(v * 37 % 997);
+    (v < 120 ? left : right)
+        .GetHistogram("lock.wait_micros")
+        .Record(v * 37 % 997);
+    all.Increment("txn.committed");
+    (v < 120 ? left : right).Increment("txn.committed");
+  }
+  MetricsSnapshot merged = left.Snapshot();
+  merged.Merge(right.Snapshot());
+  MetricsSnapshot combined = all.Snapshot();
+  EXPECT_EQ(merged.Counter("txn.committed"),
+            combined.Counter("txn.committed"));
+  const MetricValue* mh = merged.Find("lock.wait_micros");
+  const MetricValue* ch = combined.Find("lock.wait_micros");
+  ASSERT_NE(mh, nullptr);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(mh->histogram.count(), ch->histogram.count());
+  EXPECT_EQ(mh->histogram.Percentile(50), ch->histogram.Percentile(50));
+  EXPECT_EQ(mh->histogram.Percentile(99), ch->histogram.Percentile(99));
+  EXPECT_DOUBLE_EQ(mh->histogram.mean(), ch->histogram.mean());
+}
+
+TEST(MetricsSnapshotTest, StatsMergeIsParallelWelford) {
+  MetricsRegistry all, left, right;
+  for (int v = 0; v < 100; ++v) {
+    double x = 0.25 * v - 7;
+    all.GetStats("s").Record(x);
+    (v % 2 == 0 ? left : right).GetStats("s").Record(x);
+  }
+  MetricsSnapshot merged = left.Snapshot();
+  merged.Merge(right.Snapshot());
+  const OnlineStats& m = merged.Find("s")->stats;
+  const OnlineStats& c = all.Snapshot().Find("s")->stats;
+  EXPECT_EQ(m.count(), c.count());
+  EXPECT_NEAR(m.mean(), c.mean(), 1e-12);
+  EXPECT_NEAR(m.stddev(), c.stddev(), 1e-9);
+  EXPECT_EQ(m.min(), c.min());
+  EXPECT_EQ(m.max(), c.max());
+}
+
+TEST(MetricsSnapshotTest, MergeIsUnionOverNames) {
+  MetricsRegistry a, b;
+  a.Increment("only.a", 3);
+  a.Increment("shared", 1);
+  b.Increment("only.b", 5);
+  b.Increment("shared", 2);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.Counter("only.a"), 3u);
+  EXPECT_EQ(merged.Counter("only.b"), 5u);
+  EXPECT_EQ(merged.Counter("shared"), 3u);
+  // Union result stays name-sorted.
+  for (std::size_t i = 1; i < merged.metrics.size(); ++i) {
+    EXPECT_LT(merged.metrics[i - 1].name, merged.metrics[i].name);
+  }
+}
+
+// --- TimeSeriesRecorder -----------------------------------------------
+
+TEST(TimeSeriesRecorderTest, CumulativeAndRateChannels) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  MetricsRegistry::Counter events = reg.GetCounter("events");
+
+  TimeSeriesRecorder::Options opts;
+  opts.interval = SimTime::Seconds(1);
+  TimeSeriesRecorder recorder(&sim, &reg, opts);
+  recorder.Track("events");
+  recorder.TrackRate("events");
+
+  // 2 events in second one, 3 in second two, none in second three.
+  for (int i = 0; i < 2; ++i) {
+    sim.ScheduleAt(SimTime::Millis(100 + i), [&]() { events.Increment(); });
+  }
+  for (int i = 0; i < 3; ++i) {
+    sim.ScheduleAt(SimTime::Millis(1100 + i), [&]() { events.Increment(); });
+  }
+  recorder.Start();
+  sim.RunUntil(SimTime::Millis(3500));
+  recorder.Stop();
+
+  TimeSeries series = recorder.Series();
+  EXPECT_EQ(series.interval_seconds, 1.0);
+  ASSERT_EQ(series.channels.size(), 2u);
+  ASSERT_EQ(series.samples(), 3u);
+  const TimeSeries::Channel* cumulative = nullptr;
+  const TimeSeries::Channel* rate = nullptr;
+  for (const auto& ch : series.channels) {
+    (ch.rate ? rate : cumulative) = &ch;
+  }
+  ASSERT_NE(cumulative, nullptr);
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(cumulative->values, (std::vector<double>{2, 5, 5}));
+  EXPECT_EQ(rate->values, (std::vector<double>{2, 3, 0}));
+}
+
+TEST(TimeSeriesRecorderTest, ChannelsSortedByName) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  reg.Increment("zeta");
+  reg.Increment("alpha");
+  TimeSeriesRecorder recorder(&sim, &reg);
+  recorder.Track("zeta");
+  recorder.Track("alpha");
+  recorder.Start();
+  sim.RunUntil(SimTime::Seconds(2));
+  recorder.Stop();
+  TimeSeries series = recorder.Series();
+  ASSERT_EQ(series.channels.size(), 2u);
+  EXPECT_EQ(series.channels[0].name, "alpha");
+  EXPECT_EQ(series.channels[1].name, "zeta");
+}
+
+TEST(TimeSeriesStatsTest, AddThenMergeMatchesSequentialAdds) {
+  TimeSeries s1, s2;
+  s1.interval_seconds = s2.interval_seconds = 0.5;
+  s1.channels.push_back({"rate", true, {1, 2, 3}});
+  s2.channels.push_back({"rate", true, {5, 6, 7}});
+
+  TimeSeriesStats sequential;
+  sequential.Add(s1);
+  sequential.Add(s2);
+
+  TimeSeriesStats left, right;
+  left.Add(s1);
+  right.Add(s2);
+  left.Merge(right);
+
+  ASSERT_EQ(sequential.channels.size(), 1u);
+  ASSERT_EQ(left.channels.size(), 1u);
+  ASSERT_EQ(left.channels[0].buckets.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const OnlineStats& a = sequential.channels[0].buckets[i];
+    const OnlineStats& b = left.channels[0].buckets[i];
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_NEAR(a.mean(), b.mean(), 1e-12);
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+}
+
+}  // namespace
+}  // namespace tdr::obs

@@ -118,7 +118,7 @@ TEST_P(SchemePropertyTest, CommittedIncrementsAreConserved) {
   // drop replica updates (that is the paper's point) — conservation at
   // every replica holds only when no reconciliation occurred.
   if (GetParam().kind == Kind::kLazyGroup &&
-      cluster_->counters().Get("replica.conflicts") > 0) {
+      cluster_->metrics().Get("replica.conflicts") > 0) {
     GTEST_SKIP() << "lazy-group run hit reconciliations (expected)";
   }
   for (NodeId n = 0; n < GetParam().nodes; ++n) {

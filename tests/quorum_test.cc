@@ -69,7 +69,7 @@ TEST(QuorumTest, UnavailableBelowQuorum) {
                 [&](const TxnResult& r) { result = r; });
   cluster.sim().Run();
   EXPECT_EQ(result->outcome, TxnOutcome::kUnavailable);
-  EXPECT_EQ(cluster.counters().Get("scheme.unavailable"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("scheme.unavailable"), 1u);
 }
 
 TEST(QuorumTest, ReadLatestSeesEveryCommittedWrite) {
@@ -110,7 +110,7 @@ TEST(QuorumTest, RejoiningNodeCatchesUp) {
   EXPECT_EQ(cluster.node(4)->store().GetUnchecked(2).value.AsScalar(), 99);
   EXPECT_EQ(cluster.node(4)->store().GetUnchecked(7).value.AsScalar(), 11);
   EXPECT_GE(scheme.catch_up_objects(), 2u);
-  EXPECT_EQ(cluster.counters().Get("quorum.catch_up_objects"),
+  EXPECT_EQ(cluster.metrics().Get("quorum.catch_up_objects"),
             scheme.catch_up_objects());
 }
 

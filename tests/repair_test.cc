@@ -66,7 +66,7 @@ TEST(RepairTest, ExecuteRestoresConvergenceWithUniformTimestamps) {
       EXPECT_EQ(cluster.node(n)->store().GetUnchecked(oid).ts, ts0);
     }
   }
-  EXPECT_EQ(cluster.counters().Get("repair.objects"), 2u);
+  EXPECT_EQ(cluster.metrics().Get("repair.objects"), 2u);
 }
 
 TEST(RepairTest, RepairTimestampBeatsInFlightStaleUpdates) {

@@ -12,7 +12,7 @@ class ReplicaApplierTest : public ::testing::Test {
   ReplicaApplierTest()
       : cluster_(MakeOptions()),
         applier_(&cluster_.sim(), &cluster_.executor(),
-                 &cluster_.counters()) {}
+                 cluster_.metrics_or_null()) {}
 
   static Cluster::Options MakeOptions() {
     Cluster::Options o;
@@ -80,7 +80,7 @@ TEST_F(ReplicaApplierTest, TimestampMismatchCountsReconciliation) {
   EXPECT_EQ(report->conflicts, 1u);
   // Local value preserved — divergence is surfaced, not papered over.
   EXPECT_EQ(dest->store().GetUnchecked(3).value.AsScalar(), 7);
-  EXPECT_EQ(cluster_.counters().Get("replica.conflicts"), 1u);
+  EXPECT_EQ(cluster_.metrics().Get("replica.conflicts"), 1u);
 }
 
 TEST_F(ReplicaApplierTest, NewerWinsAppliesAndIgnoresStale) {

@@ -46,7 +46,7 @@ TEST(RetryTest, DeadlockVictimRetriesToSuccess) {
   EXPECT_EQ(r1->outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(r2->outcome, TxnOutcome::kCommitted);  // retried to success
   EXPECT_EQ(retry.retries(), 1u);
-  EXPECT_EQ(cluster.counters().Get("retry.resubmitted"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("retry.resubmitted"), 1u);
   // Both transactions' effects present: T2 overwrote T1.
   EXPECT_EQ(cluster.node(0)->store().GetUnchecked(0).value.AsScalar(), 2);
   EXPECT_EQ(cluster.node(0)->store().GetUnchecked(1).value.AsScalar(), 2);
@@ -73,7 +73,7 @@ TEST(RetryTest, GivesUpAfterMaxRetries) {
   ASSERT_TRUE(r2.has_value());
   EXPECT_EQ(r2->outcome, TxnOutcome::kDeadlock);
   EXPECT_EQ(retry.gave_up(), 1u);
-  EXPECT_EQ(cluster.counters().Get("retry.gave_up"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("retry.gave_up"), 1u);
 }
 
 TEST(RetryTest, UnavailablePassesThroughWithoutRetry) {

@@ -61,7 +61,7 @@ TEST(EagerGroupTest, UnavailableWhenAnyNodeDisconnected) {
   cluster.sim().Run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->outcome, TxnOutcome::kUnavailable);
-  EXPECT_EQ(cluster.counters().Get("scheme.unavailable"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("scheme.unavailable"), 1u);
   // Nothing was written anywhere.
   EXPECT_EQ(cluster.node(0)->store().GetUnchecked(1).value.AsScalar(), 0);
 }
@@ -219,7 +219,7 @@ TEST(LazyGroupTest, ConcurrentUpdatesNeedReconciliation) {
   scheme.Submit(1, Program({Op::Write(5, 200)}), nullptr);
   cluster.sim().Run();
   EXPECT_GE(scheme.reconciliations(), 1u);
-  EXPECT_EQ(cluster.counters().Get("lazy_group.reconciliations"),
+  EXPECT_EQ(cluster.metrics().Get("lazy_group.reconciliations"),
             scheme.reconciliations());
   // The databases have diverged — this is the road to system delusion.
   EXPECT_FALSE(cluster.Converged());
@@ -286,7 +286,7 @@ TEST(LazyGroupBatchingTest, UpdatesShipOnlyAtFlush) {
   EXPECT_EQ(cluster.node(1)->store().GetUnchecked(3).value.AsScalar(), 30);
   EXPECT_EQ(cluster.node(2)->store().GetUnchecked(3).value.AsScalar(), 30);
   EXPECT_TRUE(cluster.node(0)->out_log().empty());
-  EXPECT_GE(cluster.counters().Get("lazy_group.batches"), 1u);
+  EXPECT_GE(cluster.metrics().Get("lazy_group.batches"), 1u);
 }
 
 TEST(LazyGroupBatchingTest, BatchingWindowCreatesConflictsPromptShippingAvoids) {
@@ -365,7 +365,7 @@ TEST(LazyMasterTest, NoReconciliationEverUnderContention) {
     }
   }
   cluster.sim().Run();
-  EXPECT_EQ(cluster.counters().Get("replica.conflicts"), 0u);
+  EXPECT_EQ(cluster.metrics().Get("replica.conflicts"), 0u);
   EXPECT_TRUE(cluster.Converged());
   // Committed increments all survive (no lost updates at the master).
   auto committed = cluster.executor().committed();
@@ -384,7 +384,7 @@ TEST(LazyMasterTest, UnavailableWhenMasterDisconnected) {
                 [&](const TxnResult& r) { result = r; });
   cluster.sim().Run();
   EXPECT_EQ(result->outcome, TxnOutcome::kUnavailable);
-  EXPECT_EQ(cluster.counters().Get("scheme.unavailable"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("scheme.unavailable"), 1u);
 }
 
 TEST(LazyMasterTest, UnavailableWhenOriginDisconnected) {

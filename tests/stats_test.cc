@@ -123,33 +123,6 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.max(), 299u);
 }
 
-TEST(CounterRegistryTest, IncrementAndGet) {
-  CounterRegistry reg;
-  EXPECT_EQ(reg.Get("x"), 0u);
-  reg.Increment("x");
-  reg.Increment("x", 4);
-  EXPECT_EQ(reg.Get("x"), 5u);
-  EXPECT_EQ(reg.Get("y"), 0u);
-}
-
-TEST(CounterRegistryTest, SnapshotSorted) {
-  CounterRegistry reg;
-  reg.Increment("zeta");
-  reg.Increment("alpha", 2);
-  auto snap = reg.Snapshot();
-  ASSERT_EQ(snap.size(), 2u);
-  EXPECT_EQ(snap[0].first, "alpha");
-  EXPECT_EQ(snap[0].second, 2u);
-  EXPECT_EQ(snap[1].first, "zeta");
-}
-
-TEST(CounterRegistryTest, Reset) {
-  CounterRegistry reg;
-  reg.Increment("a");
-  reg.Reset();
-  EXPECT_EQ(reg.Get("a"), 0u);
-  EXPECT_TRUE(reg.Snapshot().empty());
-}
 
 }  // namespace
 }  // namespace tdr

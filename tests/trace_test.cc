@@ -16,9 +16,10 @@ TEST(TraceTest, EventTypeNames) {
 
 TEST(TraceTest, VectorSinkCollectsAndFilters) {
   VectorTraceSink sink;
-  TraceEvent e1{SimTime::Millis(1), TraceEventType::kTxnStart, 1, 0, 0, ""};
+  TraceEvent e1{SimTime::Millis(1), TraceEventType::kTxnStart, 1, 0, 0,
+                kInvalidTxnId, ""};
   TraceEvent e2{SimTime::Millis(2), TraceEventType::kTxnCommit, 1, 0, 0,
-                ""};
+                kInvalidTxnId, ""};
   sink.OnEvent(e1);
   sink.OnEvent(e2);
   EXPECT_EQ(sink.events().size(), 2u);
@@ -124,7 +125,7 @@ TEST(TraceTest, ConflictTraced) {
 TEST(TraceTest, ToStringRendersAllEvents) {
   VectorTraceSink sink;
   sink.OnEvent({SimTime::Millis(5), TraceEventType::kOpApply, 3, 1, 7,
-                "add(o7,2)"});
+                kInvalidTxnId, "add(o7,2)"});
   std::string text = sink.ToString();
   EXPECT_NE(text.find("op-apply"), std::string::npos);
   EXPECT_NE(text.find("txn3"), std::string::npos);
