@@ -1,0 +1,142 @@
+// E13 — the sharded + batched data plane. The paper's lazy schemes ship
+// one replica-update transaction per commit per destination; under a
+// hot/cold shard skew the hot objects' replica-apply load alone exceeds
+// their service capacity (utilization > 1) and committed throughput
+// collapses exactly the way Eq. (10)/(14) predict — waits and deadlocks
+// explode. Coalescing a flush window's updates per (origin, dest)
+// stream divides the hot-object apply load by the dedup factor
+//   D = tps x actions x hot_fraction x window / hot_objects,
+// pulling utilization back below 1: the classic production escape hatch
+// (group commit for the replication stream). The second table varies
+// the cluster's shard count under a fixed workload: per-shard lock
+// tables plus atomic-per-shard batch application shrink replica
+// transactions' lock footprints, converting applier-vs-user deadlocks
+// into short waits.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+
+namespace {
+
+SimConfig BaseConfig() {
+  SimConfig base;
+  base.kind = SchemeKind::kLazyGroup;
+  base.db_size = 2048;
+  base.num_shards = 128;  // 16 objects per shard
+  base.tps = 10;
+  base.actions = 4;
+  base.action_time = 0.05;
+  base.sim_seconds = 30;
+  // 90% of picks land in shard 0 (16 objects) — the hot shard.
+  base.hot_shards = 1;
+  base.hot_fraction = 0.9;
+  base.skew_shards = 128;  // hot span fixed even when num_shards varies
+  return base;
+}
+
+}  // namespace
+
+void Main() {
+  PrintBanner("E13", "Sharded + batched replication data plane",
+              "post-paper engineering: the \"solution\" at scale");
+
+  SimConfig base = BaseConfig();
+  std::printf(
+      "DB_Size=%llu shards=%u TPS=%.0f/node Actions=%u Action_Time=%.0fms\n"
+      "hot skew: %.0f%% of picks in shard 0 (%llu objects), window=%.0fs\n\n",
+      (unsigned long long)base.db_size, base.num_shards, base.tps,
+      base.actions, base.action_time * 1000, base.hot_fraction * 100,
+      (unsigned long long)(base.db_size / base.num_shards), 2.0);
+
+  obs::RunReport report = MakeReport("bench_sharding", base);
+
+  // --- Table 1: batched vs per-commit shipping, growing the cluster ---
+  std::printf("batched (2s window) vs per-commit shipping:\n");
+  std::printf("%5s | %21s | %21s | %7s\n", "",
+              "committed txns/s", "replica deadlocks", "speedup");
+  std::printf("%5s | %10s %10s | %10s %10s | %7s\n", "nodes", "unbatched",
+              "batched", "unbatched", "batched", "x");
+  std::printf("------+-----------------------+-----------------------+--------"
+              "\n");
+
+  const std::vector<std::uint32_t> kNodes{4, 8, 16, 24};
+  std::vector<SimConfig> grid;
+  for (std::uint32_t nodes : kNodes) {
+    SimConfig unbatched = base;
+    unbatched.nodes = nodes;
+    grid.push_back(unbatched);
+    SimConfig batched = unbatched;
+    batched.batch_flush_window = 2.0;
+    batched.batch_max_updates = 512;
+    grid.push_back(batched);
+  }
+  std::vector<SimOutcome> outcomes = RunSweep(grid);
+  double speedup_at_16 = 0;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    const SimOutcome& plain = outcomes[2 * i];
+    const SimOutcome& batched = outcomes[2 * i + 1];
+    double plain_rate = plain.Rate(plain.committed);
+    double batched_rate = batched.Rate(batched.committed);
+    double speedup = plain_rate > 0 ? batched_rate / plain_rate : 0;
+    if (kNodes[i] == 16) speedup_at_16 = speedup;
+    std::printf("%5u | %10.2f %10.2f | %10llu %10llu | %6.2fx\n", kNodes[i],
+                plain_rate, batched_rate,
+                (unsigned long long)plain.replica_deadlocks,
+                (unsigned long long)batched.replica_deadlocks, speedup);
+    report.AddRow(ReportRow(grid[2 * i], plain));
+    report.AddRow(ReportRow(grid[2 * i + 1], batched));
+  }
+  std::printf(
+      "\nAt 16 nodes the batched plane commits %.2fx the unbatched rate\n"
+      "(acceptance floor: 1.50x). The unbatched hot-shard apply load is\n"
+      "(N-1) x TPS x Actions x hot_fraction x Action_Time / hot_objects\n"
+      "= %.2f utilization per hot object at N=16 — past saturation, so\n"
+      "the open-loop workload queues on hot locks and commits collapse.\n"
+      "Coalescing ships each hot object once per window instead.\n",
+      speedup_at_16,
+      15 * base.tps * base.actions * base.hot_fraction * base.action_time /
+          (base.db_size / base.num_shards));
+
+  // --- Table 2: shard-count sweep under the batched plane -------------
+  std::printf("\nshard-count sweep (16 nodes, batched, fixed workload):\n");
+  std::printf("%7s | %10s | %10s | %10s | %10s\n", "shards", "commit/s",
+              "user dlk/s", "repl dlks", "batches");
+  std::printf("--------+------------+------------+------------+-----------\n");
+  const std::vector<std::uint32_t> kShards{1, 8, 32, 128};
+  std::vector<SimConfig> shard_grid;
+  for (std::uint32_t shards : kShards) {
+    SimConfig config = base;
+    config.nodes = 16;
+    config.num_shards = shards;
+    config.batch_flush_window = 2.0;
+    config.batch_max_updates = 512;
+    shard_grid.push_back(config);
+  }
+  std::vector<SimOutcome> shard_out = RunSweep(shard_grid);
+  for (std::size_t i = 0; i < kShards.size(); ++i) {
+    const SimOutcome& out = shard_out[i];
+    std::printf("%7u | %10.2f | %10.4f | %10llu | %10llu\n", kShards[i],
+                out.Rate(out.committed), out.deadlock_rate(),
+                (unsigned long long)out.replica_deadlocks,
+                (unsigned long long)out.batches_shipped);
+    report.AddRow(ReportRow(shard_grid[i], out));
+  }
+  std::printf(
+      "\nCommitted throughput is insensitive to the shard count — the\n"
+      "range partition is a correctness-neutral mechanism knob, and the\n"
+      "hot shard's lock utilization dominates either way. What changes\n"
+      "is apply granularity: at 128 shards a batch applies as one short\n"
+      "transaction per shard instead of one batch-wide transaction, so\n"
+      "no applier holds locks across shards, a deadlocked retry re-runs\n"
+      "one shard's slice (the extra, cheaper victims above), and\n"
+      "per-shard divergence is checkable in isolation (ShardDigests).\n");
+
+  WriteReport(report, "BENCH_sharding.json");
+}
+
+}  // namespace tdr::bench
+
+int main() { tdr::bench::Main(); }

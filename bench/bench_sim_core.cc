@@ -370,7 +370,8 @@ void Main(int argc, char** argv) {
                 speedup[name]);
   }
   if (fresh) {
-    std::printf("\n(no %s found — this run recorded as the baseline)\n", path);
+    std::printf("\n(no %s found — this run recorded as the baseline)\n",
+                path);
   }
 
   // The acceptance metric for the engine rewrite: throughput on the

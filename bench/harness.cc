@@ -61,10 +61,16 @@ SimOutcome RunScheme(const SimConfig& config) {
   Cluster::Options copts;
   copts.num_nodes = config.nodes;
   copts.db_size = config.db_size;
+  copts.num_shards = config.num_shards;
   copts.action_time = SimTime::Seconds(config.action_time);
   copts.seed = config.seed;
   copts.enable_metrics = config.enable_metrics;
   Cluster cluster(copts);
+
+  BatchShipper::Options batch;
+  batch.flush_window = SimTime::Seconds(config.batch_flush_window);
+  batch.max_batch_updates =
+      static_cast<std::size_t>(config.batch_max_updates);
 
   std::vector<NodeId> all_nodes(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i) all_nodes[i] = i;
@@ -96,7 +102,9 @@ SimOutcome RunScheme(const SimConfig& config) {
       scheme = std::make_unique<EagerMasterScheme>(&cluster, &ownership);
       break;
     case SchemeKind::kLazyGroup: {
-      auto lg = std::make_unique<LazyGroupScheme>(&cluster);
+      LazyGroupScheme::Options o;
+      o.batch = batch;
+      auto lg = std::make_unique<LazyGroupScheme>(&cluster, o);
       lazy_group = lg.get();
       scheme = std::move(lg);
       break;
@@ -106,14 +114,13 @@ SimOutcome RunScheme(const SimConfig& config) {
       // Faulted runs need the reconnect/heal catch-up hooks, or replicas
       // that missed updates during an outage would never converge.
       o.reconnect_catch_up = faulted;
+      o.batch = batch;
       auto lm = std::make_unique<LazyMasterScheme>(&cluster, &ownership, o);
       lazy_master = lm.get();
       scheme = std::move(lm);
       break;
     }
   }
-
-  (void)lazy_group;  // reconciliation routing now lives in the driver
 
   // Fault layer: a deterministic plan (drawn from its own RNG stream)
   // plus the always-on invariant checker. Violations left in the checker
@@ -163,6 +170,12 @@ SimOutcome RunScheme(const SimConfig& config) {
   dopts.tps_per_node = config.tps;
   dopts.workload.actions = config.actions;
   dopts.workload.mix = config.mix;
+  if (config.hot_shards > 0 && config.hot_fraction > 0) {
+    dopts.workload.skew_num_shards =
+        config.skew_shards != 0 ? config.skew_shards : config.num_shards;
+    dopts.workload.skew_hot_shards = config.hot_shards;
+    dopts.workload.skew_hot_fraction = config.hot_fraction;
+  }
   dopts.seconds = config.sim_seconds;
   WorkloadDriver driver(&cluster, scheme.get(), dopts);
   WorkloadDriver::Outcome out = driver.Run();
@@ -175,6 +188,10 @@ SimOutcome RunScheme(const SimConfig& config) {
     checker->Disarm();
     injector->Disarm();
     injector->HealAll();
+    // Pending batch windows are bounded staleness, not loss: drain them
+    // before the convergence check, like any other in-flight traffic.
+    if (lazy_group != nullptr) lazy_group->FlushAllBatches();
+    if (lazy_master != nullptr) lazy_master->FlushAllBatches();
     cluster.sim().Run();
     if (lazy_master != nullptr) lazy_master->CatchUpAll();
     cluster.sim().Run();
@@ -194,6 +211,16 @@ SimOutcome RunScheme(const SimConfig& config) {
   outcome.replica_deadlocks = out.replica_deadlocks;
   outcome.replica_applied = out.replica_applied;
   outcome.divergent_slots = out.divergent_slots;
+  if (lazy_group != nullptr && lazy_group->batch_shipper() != nullptr) {
+    outcome.batches_shipped = lazy_group->batch_shipper()->batches_shipped();
+    outcome.updates_coalesced =
+        lazy_group->batch_shipper()->updates_coalesced();
+  }
+  if (lazy_master != nullptr && lazy_master->batch_shipper() != nullptr) {
+    outcome.batches_shipped = lazy_master->batch_shipper()->batches_shipped();
+    outcome.updates_coalesced =
+        lazy_master->batch_shipper()->updates_coalesced();
+  }
   if (config.enable_metrics) {
     // Export the simulator's own health gauges before snapshotting;
     // they are deterministic (event counts, not wall time).
@@ -272,7 +299,12 @@ obs::RunReport MakeReport(std::string experiment, const SimConfig& config) {
       .SetConfig("actions", static_cast<std::uint64_t>(config.actions))
       .SetConfig("action_time", config.action_time)
       .SetConfig("sim_seconds", config.sim_seconds)
-      .SetConfig("seed", config.seed);
+      .SetConfig("seed", config.seed)
+      .SetConfig("num_shards", static_cast<std::uint64_t>(config.num_shards))
+      .SetConfig("batch_flush_window", config.batch_flush_window)
+      .SetConfig("batch_max_updates", config.batch_max_updates)
+      .SetConfig("hot_fraction", config.hot_fraction)
+      .SetConfig("hot_shards", static_cast<std::uint64_t>(config.hot_shards));
   return report;
 }
 
@@ -289,6 +321,14 @@ obs::Json ReportRow(const SimConfig& config, const SimOutcome& out) {
   row.Set("reconciliation_rate", out.reconciliation_rate());
   row.Set("unavailable", out.unavailable);
   row.Set("divergent_slots", out.divergent_slots);
+  if (config.num_shards > 1) {
+    row.Set("num_shards", static_cast<std::uint64_t>(config.num_shards));
+  }
+  if (config.batch_flush_window > 0 || config.batch_max_updates > 0) {
+    row.Set("batch_flush_window", config.batch_flush_window);
+    row.Set("batches_shipped", out.batches_shipped);
+    row.Set("updates_coalesced", out.updates_coalesced);
+  }
   return row;
 }
 

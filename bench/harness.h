@@ -47,6 +47,24 @@ struct SimConfig {
   std::uint64_t seed = 42;
   OpMix mix = OpMix::AllWrites();
 
+  // Sharded + batched data plane (the bench_sharding knobs).
+  /// Range shards of the key space (Cluster::Options::num_shards);
+  /// 1 = the unsharded plane.
+  std::uint32_t num_shards = 1;
+  /// Lazy-scheme batch flush window in seconds; 0 with
+  /// batch_max_updates 0 = per-commit shipping (BatchShipper off).
+  double batch_flush_window = 0;
+  /// Lazy-scheme batch size cap (updates per stream); 0 = unbounded.
+  std::uint64_t batch_max_updates = 0;
+  /// Hot/cold shard skew: fraction of object picks landing in the
+  /// first `hot_shards` shards. 0 (or hot_shards 0) = uniform.
+  double hot_fraction = 0;
+  std::uint32_t hot_shards = 0;
+  /// Shard view the WORKLOAD skew is expressed in; 0 = num_shards.
+  /// Setting it explicitly holds the hot span fixed while a sweep
+  /// varies the cluster's num_shards.
+  std::uint32_t skew_shards = 0;
+
   // Fault injection (src/fault). When either knob is set, the run
   // executes under a deterministic FaultPlan with the invariant checker
   // armed; an unacknowledged invariant violation aborts the benchmark
@@ -76,6 +94,8 @@ struct SimOutcome {
   std::uint64_t replica_deadlocks = 0;
   std::uint64_t replica_applied = 0;
   std::uint64_t divergent_slots = 0;  // replica divergence at end
+  std::uint64_t batches_shipped = 0;  // BatchShipper flushes (0 unbatched)
+  std::uint64_t updates_coalesced = 0;  // updates absorbed by compaction
   std::uint64_t injected_drops = 0;   // messages lost to fault injection
   std::uint64_t invariant_violations = 0;  // always 0 unless aborted
   /// Deterministic snapshot of the cluster's full registry (empty when

@@ -34,7 +34,8 @@ TwoTierSystem::TwoTierSystem(Options options)
       ownership_(Ownership::RoundRobin(options.db_size,
                                        BaseNodeIds(options.num_base))),
       lazy_master_(&cluster_, &ownership_),
-      applier_(&cluster_.sim(), &cluster_.executor(), cluster_.metrics_or_null()) {
+      applier_(&cluster_.sim(), &cluster_.executor(),
+               cluster_.metrics_or_null()) {
   assert(options_.num_base >= 1);
   for (NodeId id = options_.num_base;
        id < options_.num_base + options_.num_mobile; ++id) {

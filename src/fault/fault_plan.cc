@@ -180,7 +180,8 @@ FaultPlan FaultPlan::Random(Rng* rng, std::uint32_t num_nodes,
   for (std::uint64_t i = 0; i < crashes && num_nodes > 1; ++i) {
     NodeId victim = static_cast<NodeId>(1 + rng->UniformInt(num_nodes - 1));
     double t1 = rng->UniformDouble() * h * 0.6;
-    double t2 = t1 + 0.05 * h + rng->UniformDouble() * (h * 0.9 - t1 - 0.05 * h);
+    double t2 =
+        t1 + 0.05 * h + rng->UniformDouble() * (h * 0.9 - t1 - 0.05 * h);
     plan.CrashAt(SimTime::Seconds(t1), victim)
         .RestartAt(SimTime::Seconds(t2), victim);
   }
@@ -189,12 +190,14 @@ FaultPlan FaultPlan::Random(Rng* rng, std::uint32_t num_nodes,
   for (std::uint64_t i = 0; i < partitions && num_nodes > 2; ++i) {
     std::uint64_t group_size = 1 + rng->UniformInt(num_nodes / 2);
     std::vector<NodeId> group;
-    for (std::uint64_t v : rng->SampleWithoutReplacement(num_nodes, group_size)) {
+    for (std::uint64_t v :
+         rng->SampleWithoutReplacement(num_nodes, group_size)) {
       group.push_back(static_cast<NodeId>(v));
     }
     std::sort(group.begin(), group.end());
     double t1 = rng->UniformDouble() * h * 0.6;
-    double t2 = t1 + 0.05 * h + rng->UniformDouble() * (h * 0.9 - t1 - 0.05 * h);
+    double t2 =
+        t1 + 0.05 * h + rng->UniformDouble() * (h * 0.9 - t1 - 0.05 * h);
     std::string name = StrPrintf("p%llu", (unsigned long long)i);
     plan.PartitionAt(SimTime::Seconds(t1), name, std::move(group))
         .HealPartitionAt(SimTime::Seconds(t2), name);

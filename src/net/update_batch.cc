@@ -1,0 +1,51 @@
+#include "net/update_batch.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tdr {
+
+std::string UpdateBatch::ToString() const {
+  return StrPrintf(
+      "UpdateBatch{%u->%u seq=%llu updates=%zu coalesced=%llu opened=%s}",
+      origin, dest, (unsigned long long)seq, updates.size(),
+      (unsigned long long)coalesced, opened.ToString().c_str());
+}
+
+void UpdateBatchBuilder::Add(const UpdateRecord& rec, bool coalesce) {
+  if (coalesce) {
+    auto it = index_.find(rec.oid);
+    if (it != index_.end()) {
+      // Chain compaction: keep the pending record's pre-image, adopt
+      // the newer post-image. The receiver applies one hop t0 -> tk in
+      // place of the k-hop chain.
+      UpdateRecord& pending = updates_[it->second];
+      pending.txn = rec.txn;
+      pending.new_ts = rec.new_ts;
+      pending.new_value = rec.new_value;
+      pending.commit_time = rec.commit_time;
+      ++coalesced_;
+      return;
+    }
+    index_.emplace(rec.oid, updates_.size());
+  }
+  updates_.push_back(rec);
+}
+
+UpdateBatch UpdateBatchBuilder::Take(NodeId origin, NodeId dest,
+                                     std::uint64_t seq, SimTime opened) {
+  UpdateBatch batch;
+  batch.origin = origin;
+  batch.dest = dest;
+  batch.seq = seq;
+  batch.opened = opened;
+  batch.updates = std::move(updates_);
+  batch.coalesced = coalesced_;
+  updates_.clear();
+  index_.clear();
+  coalesced_ = 0;
+  return batch;
+}
+
+}  // namespace tdr

@@ -1,0 +1,90 @@
+#include "replication/batch_shipper.h"
+
+#include <utility>
+
+namespace tdr {
+
+BatchShipper::BatchShipper(sim::Simulator* sim, Network* net,
+                           std::uint32_t num_nodes, std::string_view stream,
+                           obs::MetricsRegistry* metrics, Options options,
+                           DeliverFn deliver)
+    : sim_(sim),
+      net_(net),
+      num_nodes_(num_nodes),
+      options_(options),
+      deliver_(std::move(deliver)),
+      streams_(static_cast<std::size_t>(num_nodes) * num_nodes) {
+  if (metrics != nullptr) {
+    std::vector<obs::Label> labels{{"stream", std::string(stream)}};
+    m_batches_ = metrics->GetCounter("batch.shipped", labels);
+    m_updates_ = metrics->GetCounter("batch.updates", labels);
+    m_coalesced_ = metrics->GetCounter("batch.coalesced", labels);
+    m_batch_size_ = metrics->GetHistogram("batch.size", labels);
+    m_flush_delay_us_ = metrics->GetHistogram("batch.flush_delay_us", labels);
+  }
+}
+
+BatchShipper::~BatchShipper() {
+  for (Stream& s : streams_) {
+    if (s.flush_event != sim::kInvalidEventId) sim_->Cancel(s.flush_event);
+  }
+}
+
+void BatchShipper::Enqueue(NodeId origin, NodeId dest,
+                           const std::vector<UpdateRecord>& records) {
+  if (records.empty() || origin == dest) return;
+  Stream& s = StreamOf(origin, dest);
+  bool was_empty = s.builder.empty();
+  for (const UpdateRecord& rec : records) {
+    s.builder.Add(rec, options_.coalesce);
+  }
+  if (was_empty) {
+    s.opened = sim_->Now();
+    if (options_.flush_window > SimTime::Zero()) {
+      s.flush_event = sim_->ScheduleAfter(
+          options_.flush_window, [this, origin, dest] { Flush(origin, dest); });
+    }
+  }
+  if (options_.max_batch_updates > 0 &&
+      s.builder.size() >= options_.max_batch_updates) {
+    Flush(origin, dest);
+  }
+}
+
+void BatchShipper::Flush(NodeId origin, NodeId dest) {
+  Stream& s = StreamOf(origin, dest);
+  if (s.flush_event != sim::kInvalidEventId) {
+    // No-op when called from inside the window event itself.
+    sim_->Cancel(s.flush_event);
+    s.flush_event = sim::kInvalidEventId;
+  }
+  if (s.builder.empty()) return;
+  UpdateBatch batch = s.builder.Take(origin, dest, s.next_seq++, s.opened);
+  ++batches_shipped_;
+  updates_shipped_ += batch.size();
+  updates_coalesced_ += batch.coalesced;
+  m_batches_.Increment();
+  m_updates_.Increment(batch.size());
+  m_coalesced_.Increment(batch.coalesced);
+  m_batch_size_.Record(batch.size());
+  m_flush_delay_us_.Record(
+      static_cast<std::uint64_t>((sim_->Now() - batch.opened).micros()));
+  net_->Send(origin, dest,
+             [this, batch = std::move(batch)] { deliver_(batch); });
+}
+
+void BatchShipper::FlushFrom(NodeId origin) {
+  for (NodeId dest = 0; dest < num_nodes_; ++dest) Flush(origin, dest);
+}
+
+void BatchShipper::FlushAll() {
+  for (NodeId origin = 0; origin < num_nodes_; ++origin) FlushFrom(origin);
+}
+
+std::size_t BatchShipper::PendingUpdates() const {
+  std::size_t pending = 0;
+  for (const Stream& s : streams_) pending += s.builder.size();
+  return pending;
+}
+
+}  // namespace tdr

@@ -1,0 +1,120 @@
+#ifndef TDR_REPLICATION_BATCH_SHIPPER_H_
+#define TDR_REPLICATION_BATCH_SHIPPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/update_batch.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/sim_time.h"
+
+namespace tdr {
+
+/// The batched log-shipping data plane shared by the lazy replication
+/// schemes: one coalescing stream per (origin, destination) pair.
+///
+/// Instead of one replica-update message per committed transaction per
+/// destination (N-1 messages per commit — the naive Figure-4 plane),
+/// committed updates park in a per-destination UpdateBatchBuilder. A
+/// stream flushes when EITHER
+///   * `flush_window` has elapsed since its oldest pending update
+///     (bounded staleness — the model prices this exactly like a
+///     mobile node's Disconnect_Time, Eq. 18), or
+///   * it holds `max_batch_updates` updates (size cap, bounding memory
+///     and receiver lock-hold time).
+/// Flushing stamps a sequence number and ships ONE message through the
+/// simulated network; the scheme's deliver callback then applies it at
+/// the destination (atomically per shard, via ReplicaApplier).
+///
+/// Everything is driven by the deterministic simulator clock: flush
+/// events are ordinary sim events, so batched runs replay bit-identical
+/// and sweep at any thread count. Crash/partition interplay comes free
+/// from Network semantics — a flushed batch from a crashed or
+/// partitioned origin queues in the outbox / on the cut link like any
+/// other message (the stream is the recovery log).
+class BatchShipper {
+ public:
+  struct Options {
+    /// Max time an update waits before its stream flushes. Zero
+    /// disables the timer entirely (flush on size cap / FlushAll only).
+    SimTime flush_window = SimTime::Millis(50);
+    /// Flush as soon as a stream holds this many updates (after
+    /// compaction). Zero = unbounded, window-only flushing.
+    std::size_t max_batch_updates = 128;
+    /// Per-object chain compaction within a window (see UpdateBatch).
+    bool coalesce = true;
+  };
+
+  /// Runs at the DESTINATION at delivery time.
+  using DeliverFn = std::function<void(const UpdateBatch&)>;
+
+  /// `stream` labels this shipper's metrics (e.g. "lazy-group").
+  /// `metrics` may be null. `sim` and `net` must outlive the shipper.
+  BatchShipper(sim::Simulator* sim, Network* net, std::uint32_t num_nodes,
+               std::string_view stream, obs::MetricsRegistry* metrics,
+               Options options, DeliverFn deliver);
+
+  /// Cancels pending flush events (they capture `this`).
+  ~BatchShipper();
+
+  BatchShipper(const BatchShipper&) = delete;
+  BatchShipper& operator=(const BatchShipper&) = delete;
+
+  /// Parks `records` on the (origin, dest) stream, arming the window
+  /// timer on first use and flushing immediately at the size cap.
+  void Enqueue(NodeId origin, NodeId dest,
+               const std::vector<UpdateRecord>& records);
+
+  /// Ships the (origin, dest) stream's pending batch now, if any.
+  void Flush(NodeId origin, NodeId dest);
+
+  /// Ships every pending batch of `origin`.
+  void FlushFrom(NodeId origin);
+
+  /// Ships every pending batch (end-of-window drain; also what a final
+  /// convergence check must call before comparing replicas).
+  void FlushAll();
+
+  const Options& options() const { return options_; }
+  std::uint64_t batches_shipped() const { return batches_shipped_; }
+  std::uint64_t updates_shipped() const { return updates_shipped_; }
+  std::uint64_t updates_coalesced() const { return updates_coalesced_; }
+  /// Updates currently parked across all streams.
+  std::size_t PendingUpdates() const;
+
+ private:
+  struct Stream {
+    UpdateBatchBuilder builder;
+    SimTime opened;
+    sim::EventId flush_event = sim::kInvalidEventId;
+    std::uint64_t next_seq = 1;
+  };
+
+  Stream& StreamOf(NodeId origin, NodeId dest) {
+    return streams_[static_cast<std::size_t>(origin) * num_nodes_ + dest];
+  }
+
+  sim::Simulator* sim_;
+  Network* net_;
+  std::uint32_t num_nodes_;
+  Options options_;
+  DeliverFn deliver_;
+  std::vector<Stream> streams_;  // n*n, indexed origin*n + dest
+  // Cached handles (no-ops without a registry).
+  obs::MetricsRegistry::Counter m_batches_;
+  obs::MetricsRegistry::Counter m_updates_;
+  obs::MetricsRegistry::Counter m_coalesced_;
+  obs::MetricsRegistry::HistogramHandle m_batch_size_;
+  obs::MetricsRegistry::HistogramHandle m_flush_delay_us_;
+  std::uint64_t batches_shipped_ = 0;
+  std::uint64_t updates_shipped_ = 0;
+  std::uint64_t updates_coalesced_ = 0;
+};
+
+}  // namespace tdr
+
+#endif  // TDR_REPLICATION_BATCH_SHIPPER_H_

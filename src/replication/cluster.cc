@@ -3,11 +3,14 @@
 namespace tdr {
 
 Cluster::Cluster(Options options)
-    : options_(options), rng_(options.seed, /*stream=*/1) {
+    : options_(options),
+      rng_(options.seed, /*stream=*/1),
+      shards_(options.db_size, options.num_shards) {
   nodes_.reserve(options_.num_nodes);
   for (NodeId id = 0; id < options_.num_nodes; ++id) {
     nodes_.push_back(std::make_unique<Node>(
-        id, options_.db_size, &graph_, options_.detect_deadlock_cycles));
+        id, options_.db_size, &graph_, options_.detect_deadlock_cycles,
+        &shards_));
   }
   net_ = std::make_unique<Network>(&sim_, node_ptrs(), options_.net,
                                    metrics_or_null());
@@ -55,6 +58,15 @@ std::uint64_t Cluster::StateDigest() const {
     }
   }
   return h;
+}
+
+std::vector<std::uint64_t> Cluster::ShardDigests(ShardId shard) const {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    digests.push_back(n->store().ShardDigest(shards_, shard));
+  }
+  return digests;
 }
 
 }  // namespace tdr

@@ -8,6 +8,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
+#include "storage/shard_map.h"
 #include "txn/executor.h"
 #include "txn/node.h"
 #include "txn/wait_for_graph.h"
@@ -25,6 +26,11 @@ class Cluster {
   struct Options {
     std::uint32_t num_nodes = 3;
     std::uint64_t db_size = 10000;
+    /// Shards the key space is range-partitioned into (clamped to
+    /// [1, db_size]). Every per-object structure — lock tables, replica
+    /// appliers, batch streams — keys its state off the resulting
+    /// ShardMap. One shard reproduces the unsharded data plane exactly.
+    std::uint32_t num_shards = 1;
     SimTime action_time = SimTime::Millis(10);  // Table 2 Action_Time
     Network::Options net;
     std::uint64_t seed = 42;
@@ -54,6 +60,8 @@ class Cluster {
     return options_.enable_metrics ? &metrics_ : nullptr;
   }
   WaitForGraph& graph() { return graph_; }
+  /// The cluster-wide range partition of the key space.
+  const ShardMap& shards() const { return shards_; }
 
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(nodes_.size());
@@ -85,12 +93,17 @@ class Cluster {
   /// iff their digests match. The replay-determinism fingerprint.
   std::uint64_t StateDigest() const;
 
+  /// Shards of `shard` (one digest per node, node order) — the
+  /// fine-grained twin of StateDigest for per-shard convergence checks.
+  std::vector<std::uint64_t> ShardDigests(ShardId shard) const;
+
  private:
   Options options_;
   sim::Simulator sim_;
   WaitForGraph graph_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
+  ShardMap shards_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Executor> exec_;

@@ -7,7 +7,15 @@ namespace tdr {
 LazyGroupScheme::LazyGroupScheme(Cluster* cluster, Options options)
     : cluster_(cluster),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(), cluster->metrics_or_null()) {
+      applier_(&cluster->sim(), &cluster->executor(),
+               cluster->metrics_or_null()) {
+  if (options_.batch.flush_window > SimTime::Zero() ||
+      options_.batch.max_batch_updates > 0) {
+    shipper_ = std::make_unique<BatchShipper>(
+        &cluster_->sim(), &cluster_->net(), cluster_->size(), name(),
+        cluster_->metrics_or_null(), options_.batch,
+        [this](const UpdateBatch& batch) { ApplyBatch(batch); });
+  }
   if (options_.batch_interval > SimTime::Zero()) {
     for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
       flusher_series_.push_back(cluster_->sim().RepeatEvery(
@@ -43,6 +51,15 @@ void LazyGroupScheme::Submit(NodeId origin, const Program& program,
 
 void LazyGroupScheme::Propagate(const TxnResult& result) {
   if (result.updates.empty()) return;
+  if (shipper_ != nullptr) {
+    // Coalescing batch plane: park the updates on every per-destination
+    // stream; the shipper's window/size-cap events ship them.
+    for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
+      if (dest == result.origin) continue;
+      shipper_->Enqueue(result.origin, dest, result.updates);
+    }
+    return;
+  }
   if (options_.batch_interval > SimTime::Zero()) {
     // Batched shipping: park the records in the node's out-log; the
     // periodic flusher drains them.
@@ -66,6 +83,7 @@ void LazyGroupScheme::FlushAllBatches() {
   for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
     FlushBatches(origin);
   }
+  if (shipper_ != nullptr) shipper_->FlushAll();
 }
 
 void LazyGroupScheme::Ship(NodeId origin,
@@ -79,24 +97,31 @@ void LazyGroupScheme::Ship(NodeId origin,
     Node* dest_node = cluster_->node(dest);
     std::vector<UpdateRecord> copy = records;
     cluster_->net().Send(
-        origin, dest,
-        [this, dest_node, records = std::move(copy)]() mutable {
-          ReplicaApplier::Options aopts;
-          aopts.action_time = cluster_->options().action_time;
-          aopts.mode = ReplicaApplier::Mode::kTimestampMatch;
-          aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
-          applier_.Apply(dest_node, std::move(records), aopts,
-                         [this](const ReplicaApplier::Report& report) {
-                           reconciliations_ += report.conflicts;
-                           replica_applied_ += report.applied;
-                           if (report.conflicts > 0) {
-                             cluster_->metrics().Increment(
-                                 "lazy_group.reconciliations",
-                                 report.conflicts);
-                           }
-                         });
+        origin, dest, [this, dest_node, records = std::move(copy)]() mutable {
+          ApplyAt(dest_node, std::move(records));
         });
   }
+}
+
+void LazyGroupScheme::ApplyBatch(const UpdateBatch& batch) {
+  ApplyAt(cluster_->node(batch.dest), batch.updates);
+}
+
+void LazyGroupScheme::ApplyAt(Node* dest, std::vector<UpdateRecord> records) {
+  ReplicaApplier::Options aopts;
+  aopts.action_time = cluster_->options().action_time;
+  aopts.mode = ReplicaApplier::Mode::kTimestampMatch;
+  aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
+  aopts.shards = &cluster_->shards();
+  applier_.Apply(dest, std::move(records), aopts,
+                 [this](const ReplicaApplier::Report& report) {
+                   reconciliations_ += report.conflicts;
+                   replica_applied_ += report.applied;
+                   if (report.conflicts > 0) {
+                     cluster_->metrics().Increment(
+                         "lazy_group.reconciliations", report.conflicts);
+                   }
+                 });
 }
 
 }  // namespace tdr

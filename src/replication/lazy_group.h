@@ -3,6 +3,8 @@
 
 #include <memory>
 
+#include "net/update_batch.h"
+#include "replication/batch_shipper.h"
 #include "replication/cluster.h"
 #include "replication/replica_applier.h"
 #include "replication/scheme.h"
@@ -35,7 +37,17 @@ class LazyGroupScheme : public ReplicationScheme {
     /// self-inflicted Disconnect_Time, so Eq. (18) predicts the
     /// reconciliation cost with Disconnect_Time := batch_interval (see
     /// the batching sweep in bench_mobile_disconnect).
+    ///
+    /// Superseded by the `batch` plane below for new work; kept because
+    /// it models a different shape (node-wide log drain on a fixed
+    /// period, no coalescing, no size cap).
     SimTime batch_interval = SimTime::Zero();
+    /// Per-destination coalescing batch plane (BatchShipper). Engaged
+    /// when flush_window or max_batch_updates is positive; replaces the
+    /// one-message-per-commit-per-destination shipping with one
+    /// UpdateBatch per stream per window, applied atomically per shard
+    /// at the destination. Takes precedence over batch_interval.
+    BatchShipper::Options batch{SimTime::Zero(), 0, true};
   };
 
   explicit LazyGroupScheme(Cluster* cluster)
@@ -62,8 +74,12 @@ class LazyGroupScheme : public ReplicationScheme {
   /// for forcing a final flush at the end of a measurement window.
   void FlushBatches(NodeId origin);
 
-  /// Flushes every node (end-of-run convenience).
+  /// Flushes every node (end-of-run convenience). Drains both the
+  /// legacy out-log batches and the BatchShipper streams.
   void FlushAllBatches();
+
+  /// The coalescing batch plane; null when Options::batch is disabled.
+  BatchShipper* batch_shipper() { return shipper_.get(); }
 
   /// Traces replica-update application (forwarded to the applier).
   void set_trace_sink(TraceSink* sink) { applier_.set_trace_sink(sink); }
@@ -77,10 +93,13 @@ class LazyGroupScheme : public ReplicationScheme {
  private:
   void Propagate(const TxnResult& result);
   void Ship(NodeId origin, std::vector<UpdateRecord> records);
+  void ApplyBatch(const UpdateBatch& batch);
+  void ApplyAt(Node* dest, std::vector<UpdateRecord> records);
 
   Cluster* cluster_;
   Options options_;
   ReplicaApplier applier_;
+  std::unique_ptr<BatchShipper> shipper_;
   std::vector<sim::EventId> flusher_series_;
   std::uint64_t reconciliations_ = 0;
   std::uint64_t replica_applied_ = 0;

@@ -11,7 +11,17 @@ LazyMasterScheme::LazyMasterScheme(Cluster* cluster,
     : cluster_(cluster),
       ownership_(ownership),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(), cluster->metrics_or_null()) {
+      applier_(&cluster->sim(), &cluster->executor(),
+               cluster->metrics_or_null()) {
+  if (options_.batch.flush_window > SimTime::Zero() ||
+      options_.batch.max_batch_updates > 0) {
+    shipper_ = std::make_unique<BatchShipper>(
+        &cluster_->sim(), &cluster_->net(), cluster_->size(), name(),
+        cluster_->metrics_or_null(), options_.batch,
+        [this](const UpdateBatch& batch) {
+          ApplyAt(cluster_->node(batch.dest), batch.updates);
+        });
+  }
   if (options_.reconnect_catch_up) {
     for (NodeId id = 0; id < cluster_->size(); ++id) {
       cluster_->net().OnReconnect(id, [this, id]() { CatchUpNode(id); });
@@ -82,7 +92,8 @@ void LazyMasterScheme::CatchUpNode(NodeId node) {
     NodeId owner = ownership_->OwnerOf(oid);
     if (owner == node) continue;  // the master copy is authoritative
     if (!cluster_->net().Reachable(node, owner)) continue;
-    const StoredObject& master = cluster_->node(owner)->store().GetUnchecked(oid);
+    const StoredObject& master =
+        cluster_->node(owner)->store().GetUnchecked(oid);
     bool applied = false;
     Status s = dest->store().ApplyIfNewer(oid, master.value, master.ts,
                                           &applied);
@@ -112,23 +123,35 @@ void LazyMasterScheme::Propagate(const TxnResult& result) {
   for (auto& [master, records] : by_master) {
     for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
       if (dest == master) continue;
+      if (shipper_ != nullptr) {
+        shipper_->Enqueue(master, dest, records);
+        continue;
+      }
       Node* dest_node = cluster_->node(dest);
       std::vector<UpdateRecord> copy = records;
-      cluster_->net().Send(
-          master, dest,
-          [this, dest_node, copy = std::move(copy)]() mutable {
-            ReplicaApplier::Options aopts;
-            aopts.action_time = cluster_->options().action_time;
-            aopts.mode = ReplicaApplier::Mode::kNewerWins;
-            aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
-            applier_.Apply(dest_node, std::move(copy), aopts,
-                           [this](const ReplicaApplier::Report& report) {
-                             slave_applied_ += report.applied;
-                             stale_ignored_ += report.stale;
+      cluster_->net().Send(master, dest,
+                           [this, dest_node, copy = std::move(copy)]() mutable {
+                             ApplyAt(dest_node, std::move(copy));
                            });
-          });
     }
   }
+}
+
+void LazyMasterScheme::ApplyAt(Node* dest, std::vector<UpdateRecord> records) {
+  ReplicaApplier::Options aopts;
+  aopts.action_time = cluster_->options().action_time;
+  aopts.mode = ReplicaApplier::Mode::kNewerWins;
+  aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
+  aopts.shards = &cluster_->shards();
+  applier_.Apply(dest, std::move(records), aopts,
+                 [this](const ReplicaApplier::Report& report) {
+                   slave_applied_ += report.applied;
+                   stale_ignored_ += report.stale;
+                 });
+}
+
+void LazyMasterScheme::FlushAllBatches() {
+  if (shipper_ != nullptr) shipper_->FlushAll();
 }
 
 }  // namespace tdr

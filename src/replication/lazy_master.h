@@ -2,8 +2,11 @@
 #define TDR_REPLICATION_LAZY_MASTER_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "net/update_batch.h"
+#include "replication/batch_shipper.h"
 #include "replication/cluster.h"
 #include "replication/ownership.h"
 #include "replication/replica_applier.h"
@@ -33,6 +36,12 @@ class LazyMasterScheme : public ReplicationScheme {
     /// Off by default — the paper's base protocol relies purely on the
     /// refresh stream, and the two-tier core manages its own catch-up.
     bool reconnect_catch_up = false;
+    /// Per-destination coalescing batch plane (BatchShipper). Engaged
+    /// when flush_window or max_batch_updates is positive: each master's
+    /// slave refreshes park on its (master, dest) stream instead of
+    /// shipping one message per commit, and the destination applies a
+    /// batch atomically per shard, newer-wins.
+    BatchShipper::Options batch{SimTime::Zero(), 0, true};
   };
 
   LazyMasterScheme(Cluster* cluster, const Ownership* ownership)
@@ -72,17 +81,28 @@ class LazyMasterScheme : public ReplicationScheme {
   /// the anti-entropy protocol would reach.
   void CatchUpAll();
 
+  /// Ships every pending refresh batch now. No-op without the batch
+  /// plane; the measurement harness calls this before convergence
+  /// checks (the lazy-master analogue of LazyGroupScheme's
+  /// FlushAllBatches).
+  void FlushAllBatches();
+
+  /// The coalescing batch plane; null when Options::batch is disabled.
+  BatchShipper* batch_shipper() { return shipper_.get(); }
+
   std::uint64_t slave_updates_applied() const { return slave_applied_; }
   std::uint64_t stale_updates_ignored() const { return stale_ignored_; }
   std::uint64_t catch_up_objects() const { return catch_up_objects_; }
 
  private:
   void Propagate(const TxnResult& result);
+  void ApplyAt(Node* dest, std::vector<UpdateRecord> records);
 
   Cluster* cluster_;
   const Ownership* ownership_;
   Options options_;
   ReplicaApplier applier_;
+  std::unique_ptr<BatchShipper> shipper_;
   std::uint64_t slave_applied_ = 0;
   std::uint64_t stale_ignored_ = 0;
   std::uint64_t catch_up_objects_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "util/logging.h"
 
@@ -165,24 +166,42 @@ void QuorumEagerScheme::CatchUpAll() {
 void QuorumEagerScheme::CatchUp(NodeId rejoined) {
   // "The quorum sends the new node all replica updates since the node
   // was disconnected": refresh every object whose newest reachable
-  // version is later than the rejoined node's copy.
+  // version is later than the rejoined node's copy. Shards are
+  // contiguous id ranges, so walking them in order preserves the
+  // ascending-oid refresh order while making per-shard repair volume
+  // visible in quorum.shard_catch_up{shard=K}.
   Node* node = cluster_->node(rejoined);
-  for (ObjectId oid = 0; oid < node->store().size(); ++oid) {
-    const StoredObject* newest = nullptr;
-    for (NodeId id = 0; id < cluster_->size(); ++id) {
-      if (id == rejoined || !cluster_->net().Reachable(rejoined, id)) continue;
-      const StoredObject& obj = cluster_->node(id)->store().GetUnchecked(oid);
-      if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
+  const ShardMap& shards = cluster_->shards();
+  for (ShardId shard = 0; shard < shards.num_shards(); ++shard) {
+    std::uint64_t refreshed = 0;
+    for (ObjectId oid = shards.ShardBegin(shard);
+         oid < shards.ShardEnd(shard); ++oid) {
+      const StoredObject* newest = nullptr;
+      for (NodeId id = 0; id < cluster_->size(); ++id) {
+        if (id == rejoined || !cluster_->net().Reachable(rejoined, id)) {
+          continue;
+        }
+        const StoredObject& obj =
+            cluster_->node(id)->store().GetUnchecked(oid);
+        if (newest == nullptr || obj.ts > newest->ts) newest = &obj;
+      }
+      if (newest == nullptr) continue;  // nobody else is up
+      bool applied = false;
+      Status s = node->store().ApplyIfNewer(oid, newest->value, newest->ts,
+                                            &applied);
+      assert(s.ok());
+      (void)s;
+      if (applied) {
+        ++catch_up_objects_;
+        ++refreshed;
+        cluster_->metrics().Increment("quorum.catch_up_objects");
+      }
     }
-    if (newest == nullptr) continue;  // nobody else is up
-    bool applied = false;
-    Status s = node->store().ApplyIfNewer(oid, newest->value, newest->ts,
-                                          &applied);
-    assert(s.ok());
-    (void)s;
-    if (applied) {
-      ++catch_up_objects_;
-      cluster_->metrics().Increment("quorum.catch_up_objects");
+    if (refreshed > 0 && shards.num_shards() > 1) {
+      cluster_->metrics()
+          .GetCounter("quorum.shard_catch_up",
+                      {{"shard", std::to_string(shard)}})
+          .Increment(refreshed);
     }
   }
 }

@@ -1,6 +1,8 @@
 #include "replication/replica_applier.h"
 
 #include <cassert>
+#include <map>
+#include <string>
 #include <utility>
 
 #include "obs/profile.h"
@@ -27,6 +29,11 @@ void ReplicaApplier::Emit(TraceEventType type, const Job& job,
 
 void ReplicaApplier::Apply(Node* node, std::vector<UpdateRecord> records,
                            Options options, Done done) {
+  if (options.shards != nullptr && options.shards->num_shards() > 1 &&
+      !records.empty()) {
+    ApplySharded(node, std::move(records), options, std::move(done));
+    return;
+  }
   auto job = std::make_shared<Job>();
   job->node = node;
   job->records = std::move(records);
@@ -42,6 +49,53 @@ void ReplicaApplier::Apply(Node* node, std::vector<UpdateRecord> records,
        StrPrintf("%zu updates from txn %llu", job->records.size(),
                  (unsigned long long)job->records[0].txn));
   AcquireNext(std::move(job));
+}
+
+void ReplicaApplier::ApplySharded(Node* node,
+                                  std::vector<UpdateRecord> records,
+                                  const Options& options, Done done) {
+  // Partition by shard, preserving update order within each shard.
+  // std::map iterates shards ascending, so sub-transaction start order
+  // is deterministic.
+  std::map<ShardId, std::vector<UpdateRecord>> by_shard;
+  for (UpdateRecord& rec : records) {
+    by_shard[options.shards->ShardOf(rec.oid)].push_back(std::move(rec));
+  }
+  Options sub = options;
+  sub.shards = nullptr;  // each group is single-shard by construction
+  auto agg = std::make_shared<Report>();
+  auto remaining = std::make_shared<std::size_t>(by_shard.size());
+  auto shared_done = std::make_shared<Done>(std::move(done));
+  for (auto& [shard, recs] : by_shard) {
+    ShardAppliedCounter(shard);  // acquire outside the callback
+    ShardId sid = shard;
+    Apply(node, std::move(recs), sub,
+          [this, sid, agg, remaining, shared_done](const Report& r) {
+            ShardAppliedCounter(sid).Increment(r.applied);
+            agg->applied += r.applied;
+            agg->stale += r.stale;
+            agg->conflicts += r.conflicts;
+            agg->deadlock_retries += r.deadlock_retries;
+            agg->gave_up = agg->gave_up || r.gave_up;
+            if (--*remaining == 0 && *shared_done) (*shared_done)(*agg);
+          });
+  }
+}
+
+obs::MetricsRegistry::Counter& ReplicaApplier::ShardAppliedCounter(
+    ShardId shard) {
+  if (shard >= shard_applied_.size()) {
+    std::size_t old_size = shard_applied_.size();
+    shard_applied_.resize(shard + 1);
+    if (metrics_ != nullptr) {
+      for (std::size_t s = old_size; s < shard_applied_.size(); ++s) {
+        shard_applied_[s] = metrics_->GetCounter(
+            "replica.shard_applied",
+            {{"shard", std::to_string(s)}});
+      }
+    }
+  }
+  return shard_applied_[shard];
 }
 
 void ReplicaApplier::AcquireNext(std::shared_ptr<Job> job) {

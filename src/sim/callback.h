@@ -93,7 +93,8 @@ class Callback {
 
   template <typename D>
   static constexpr bool FitsInline() {
-    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
            std::is_nothrow_move_constructible_v<D>;
   }
 

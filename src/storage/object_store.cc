@@ -83,7 +83,7 @@ bool ObjectStore::SameValuesAs(const ObjectStore& other) const {
   return true;
 }
 
-std::uint64_t ObjectStore::Digest() const {
+std::uint64_t ObjectStore::DigestRange(ObjectId begin, ObjectId end) const {
   std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
   auto mix = [&h](std::uint64_t x) {
     for (int i = 0; i < 8; ++i) {
@@ -91,7 +91,8 @@ std::uint64_t ObjectStore::Digest() const {
       h *= 1099511628211ULL;  // FNV prime
     }
   };
-  for (const StoredObject& obj : objects_) {
+  for (ObjectId oid = begin; oid < end; ++oid) {
+    const StoredObject& obj = objects_[oid];
     if (obj.value.is_scalar()) {
       mix(0x5ca1a6);
       mix(static_cast<std::uint64_t>(obj.value.AsScalar()));
@@ -107,11 +108,33 @@ std::uint64_t ObjectStore::Digest() const {
   return h;
 }
 
+std::uint64_t ObjectStore::Digest() const {
+  return DigestRange(0, objects_.size());
+}
+
+std::uint64_t ObjectStore::ShardDigest(const ShardMap& shards,
+                                       ShardId shard) const {
+  return DigestRange(shards.ShardBegin(shard), shards.ShardEnd(shard));
+}
+
 Status ObjectStore::CloneFrom(const ObjectStore& other) {
   if (objects_.size() != other.objects_.size()) {
     return Status::InvalidArgument("CloneFrom: size mismatch");
   }
   objects_ = other.objects_;
+  return Status::OK();
+}
+
+Status ObjectStore::CloneShardFrom(const ObjectStore& other,
+                                   const ShardMap& shards, ShardId shard) {
+  if (objects_.size() != other.objects_.size() ||
+      shards.db_size() != objects_.size()) {
+    return Status::InvalidArgument("CloneShardFrom: size mismatch");
+  }
+  for (ObjectId oid = shards.ShardBegin(shard); oid < shards.ShardEnd(shard);
+       ++oid) {
+    objects_[oid] = other.objects_[oid];
+  }
   return Status::OK();
 }
 

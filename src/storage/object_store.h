@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/shard_map.h"
 #include "storage/timestamp.h"
 #include "storage/types.h"
 #include "util/result.h"
@@ -84,14 +85,26 @@ class ObjectStore {
   /// assertions across many nodes.
   std::uint64_t Digest() const;
 
+  /// Digest over one shard's contiguous id range — the per-shard state
+  /// the sharded data plane compares, so convergence checks on a large
+  /// store can scan only the shards that changed.
+  std::uint64_t ShardDigest(const ShardMap& shards, ShardId shard) const;
+
   /// Copies the full state of `other` into this store (reconnect
   /// refresh, snapshot install). Sizes must match.
   Status CloneFrom(const ObjectStore& other);
+
+  /// Copies one shard's id range from `other` (per-shard catch-up:
+  /// refresh only the shards a rejoining replica actually missed).
+  Status CloneShardFrom(const ObjectStore& other, const ShardMap& shards,
+                        ShardId shard);
 
   /// Ids of objects whose value differs from `other` (diagnostics).
   std::vector<ObjectId> DiffAgainst(const ObjectStore& other) const;
 
  private:
+  std::uint64_t DigestRange(ObjectId begin, ObjectId end) const;
+
   std::vector<StoredObject> objects_;
 };
 

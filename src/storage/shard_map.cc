@@ -1,0 +1,25 @@
+#include "storage/shard_map.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace tdr {
+
+ShardMap::ShardMap(std::uint64_t db_size, std::uint32_t num_shards)
+    : db_size_(db_size), num_shards_(num_shards) {
+  assert(db_size_ > 0);
+  if (num_shards_ == 0) num_shards_ = 1;
+  if (num_shards_ > db_size_) {
+    num_shards_ = static_cast<std::uint32_t>(db_size_);
+  }
+  base_ = db_size_ / num_shards_;
+  rem_ = db_size_ % num_shards_;
+}
+
+std::string ShardMap::ToString() const {
+  return StrPrintf("ShardMap{db_size=%llu shards=%u}",
+                   (unsigned long long)db_size_, num_shards_);
+}
+
+}  // namespace tdr

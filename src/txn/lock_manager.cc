@@ -15,7 +15,7 @@ void LockManager::AddWaitEdges(const LockState& state, TxnId waiter) const {
 
 LockManager::AcquireOutcome LockManager::Acquire(TxnId txn, ObjectId oid,
                                                  GrantCallback on_grant) {
-  LockState& state = locks_[oid];
+  LockState& state = TableOf(oid)[oid];
   if (state.holder == kInvalidTxnId) {
     state.holder = txn;
     held_[txn].push_back(oid);
@@ -36,12 +36,14 @@ LockManager::AcquireOutcome LockManager::Acquire(TxnId txn, ObjectId oid,
     return AcquireOutcome::kDeadlock;
   }
   ++total_waits_;
+  ++shard_waits_[ShardOf(oid)];
   return AcquireOutcome::kQueued;
 }
 
 void LockManager::Release(TxnId txn, ObjectId oid) {
-  auto it = locks_.find(oid);
-  if (it == locks_.end() || it->second.holder != txn) {
+  std::map<ObjectId, LockState>& table = TableOf(oid);
+  auto it = table.find(oid);
+  if (it == table.end() || it->second.holder != txn) {
     ++bad_releases_;
     return;
   }
@@ -54,7 +56,7 @@ void LockManager::Release(TxnId txn, ObjectId oid) {
     if (v.empty()) held_.erase(hit);
   }
   if (state.queue.empty()) {
-    locks_.erase(it);
+    table.erase(it);
     return;
   }
   // Grant to the FIFO front.
@@ -82,8 +84,9 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 bool LockManager::CancelRequest(TxnId txn, ObjectId oid) {
-  auto it = locks_.find(oid);
-  if (it == locks_.end()) return false;
+  std::map<ObjectId, LockState>& table = TableOf(oid);
+  auto it = table.find(oid);
+  if (it == table.end()) return false;
   LockState& state = it->second;
   auto qit = std::find_if(state.queue.begin(), state.queue.end(),
                           [txn](const Waiter& w) { return w.txn == txn; });
@@ -103,8 +106,9 @@ bool LockManager::CancelRequest(TxnId txn, ObjectId oid) {
 }
 
 bool LockManager::Holds(TxnId txn, ObjectId oid) const {
-  auto it = locks_.find(oid);
-  return it != locks_.end() && it->second.holder == txn;
+  const std::map<ObjectId, LockState>& table = TableOf(oid);
+  auto it = table.find(oid);
+  return it != table.end() && it->second.holder == txn;
 }
 
 std::size_t LockManager::HeldCount(TxnId txn) const {
@@ -112,9 +116,17 @@ std::size_t LockManager::HeldCount(TxnId txn) const {
   return hit == held_.end() ? 0 : hit->second.size();
 }
 
+std::size_t LockManager::LockedObjectCount() const {
+  std::size_t n = 0;
+  for (const auto& table : tables_) n += table.size();
+  return n;
+}
+
 std::size_t LockManager::WaiterCount() const {
   std::size_t n = 0;
-  for (const auto& [oid, state] : locks_) n += state.queue.size();
+  for (const auto& table : tables_) {
+    for (const auto& [oid, state] : table) n += state.queue.size();
+  }
   return n;
 }
 

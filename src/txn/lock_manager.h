@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/shard_map.h"
 #include "storage/types.h"
 #include "txn/wait_for_graph.h"
 
@@ -42,8 +43,21 @@ class LockManager {
   /// simply QUEUE — deadlock resolution is then someone else's job
   /// (e.g. the executor's wait timeouts). That is the production
   /// timeout-based alternative the ablation bench compares against.
-  LockManager(NodeId node, WaitForGraph* graph, bool detect_cycles = true)
-      : node_(node), graph_(graph), detect_cycles_(detect_cycles) {}
+  ///
+  /// `shards` (may be null = one shard, must otherwise outlive the
+  /// manager) splits the lock table into one ordered map per shard.
+  /// Lock semantics are identical at any shard count — sharding only
+  /// shrinks the per-structure footprint, so lookups on a loaded node
+  /// search a table S times smaller. Per-shard wait counters feed the
+  /// hot-shard diagnostics.
+  LockManager(NodeId node, WaitForGraph* graph, bool detect_cycles = true,
+              const ShardMap* shards = nullptr)
+      : node_(node),
+        graph_(graph),
+        detect_cycles_(detect_cycles),
+        shards_(shards),
+        tables_(shards != nullptr ? shards->num_shards() : 1),
+        shard_waits_(tables_.size(), 0) {}
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -73,7 +87,7 @@ class LockManager {
   std::size_t HeldCount(TxnId txn) const;
 
   /// Number of objects currently locked at this node.
-  std::size_t LockedObjectCount() const { return locks_.size(); }
+  std::size_t LockedObjectCount() const;
 
   /// Number of transactions queued (waiting) at this node.
   std::size_t WaiterCount() const;
@@ -81,6 +95,15 @@ class LockManager {
   std::uint64_t total_waits() const { return total_waits_; }
   std::uint64_t total_deadlocks() const { return total_deadlocks_; }
   std::uint64_t bad_releases() const { return bad_releases_; }
+
+  /// Lock waits that queued on `shard`'s table (0 for out-of-range
+  /// shards) — the hot-shard contention signal.
+  std::uint64_t shard_waits(ShardId shard) const {
+    return shard < shard_waits_.size() ? shard_waits_[shard] : 0;
+  }
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(tables_.size());
+  }
 
   NodeId node() const { return node_; }
 
@@ -99,10 +122,24 @@ class LockManager {
   /// them too).
   void AddWaitEdges(const LockState& state, TxnId waiter) const;
 
+  ShardId ShardOf(ObjectId oid) const {
+    return shards_ != nullptr ? shards_->ShardOf(oid) : 0;
+  }
+  std::map<ObjectId, LockState>& TableOf(ObjectId oid) {
+    return tables_[ShardOf(oid)];
+  }
+  const std::map<ObjectId, LockState>& TableOf(ObjectId oid) const {
+    return tables_[ShardOf(oid)];
+  }
+
   NodeId node_;
   WaitForGraph* graph_;
   bool detect_cycles_;
-  std::map<ObjectId, LockState> locks_;  // only objects locked or queued
+  const ShardMap* shards_;
+  // Per-shard lock tables holding only objects locked or queued. One
+  // table when unsharded.
+  std::vector<std::map<ObjectId, LockState>> tables_;
+  std::vector<std::uint64_t> shard_waits_;
   // Reverse index: locks held per txn, for ReleaseAll.
   std::unordered_map<TxnId, std::vector<ObjectId>> held_;
   std::uint64_t total_waits_ = 0;

@@ -18,11 +18,13 @@ namespace tdr {
 /// compose behaviour on top; Node itself is policy-free.
 class Node {
  public:
+  /// `shards` may be null (single-shard lock table) and must otherwise
+  /// outlive the node.
   Node(NodeId id, std::uint64_t db_size, WaitForGraph* graph,
-       bool detect_deadlock_cycles = true)
+       bool detect_deadlock_cycles = true, const ShardMap* shards = nullptr)
       : id_(id),
         store_(db_size),
-        locks_(id, graph, detect_deadlock_cycles),
+        locks_(id, graph, detect_deadlock_cycles, shards),
         clock_(id) {}
 
   Node(const Node&) = delete;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "storage/shard_map.h"
+
 namespace tdr {
 
 ProgramGenerator::ProgramGenerator(Options options)
@@ -30,6 +32,15 @@ ProgramGenerator::ProgramGenerator(Options options)
     zipf_ = std::make_unique<ZipfianGenerator>(options_.db_size,
                                                options_.zipf_theta);
   }
+  if (options_.skew_hot_shards > 0 && options_.skew_hot_fraction > 0.0) {
+    assert(zipf_ == nullptr && "zipf_theta and shard skew are exclusive");
+    ShardMap shards(options_.db_size, options_.skew_num_shards);
+    // Shards are contiguous from id 0, so the hot region is a prefix.
+    if (options_.skew_hot_shards < shards.num_shards()) {
+      hot_span_ = shards.ShardBegin(options_.skew_hot_shards);
+    }
+    // hot_shards >= num_shards covers the whole key space: no skew.
+  }
 }
 
 OpType ProgramGenerator::PickType(Rng& rng) {
@@ -42,12 +53,18 @@ OpType ProgramGenerator::PickType(Rng& rng) {
 
 ObjectId ProgramGenerator::PickObject(Rng& rng) {
   if (zipf_ != nullptr) return zipf_->Next(rng);
+  if (hot_span_ > 0) {
+    if (rng.Bernoulli(options_.skew_hot_fraction)) {
+      return rng.UniformInt(hot_span_);
+    }
+    return hot_span_ + rng.UniformInt(options_.db_size - hot_span_);
+  }
   return rng.UniformInt(options_.db_size);
 }
 
 Program ProgramGenerator::Next(Rng& rng) {
   Program prog;
-  if (options_.distinct_objects && zipf_ == nullptr) {
+  if (options_.distinct_objects && zipf_ == nullptr && hot_span_ == 0) {
     // Uniform + distinct: sample without replacement.
     std::vector<std::uint64_t> oids =
         rng.SampleWithoutReplacement(options_.db_size, options_.actions);

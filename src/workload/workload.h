@@ -50,6 +50,16 @@ class ProgramGenerator {
     bool distinct_objects = true;
     /// 0 = uniform access (the paper's model); (0,1) = Zipfian skew.
     double zipf_theta = 0.0;
+    /// Hot/cold SHARD skew (the bench_sharding scenario). With
+    /// skew_hot_shards > 0, the key space is viewed as skew_num_shards
+    /// contiguous range shards (set it to match
+    /// Cluster::Options::num_shards) and each object pick lands in the
+    /// first skew_hot_shards shards with probability skew_hot_fraction,
+    /// uniform within the chosen region. Composes with
+    /// distinct_objects; mutually exclusive with zipf_theta.
+    std::uint32_t skew_num_shards = 0;
+    std::uint32_t skew_hot_shards = 0;
+    double skew_hot_fraction = 0.0;
     /// Operand range for arithmetic/write/append ops.
     std::int64_t operand_lo = 1;
     std::int64_t operand_hi = 100;
@@ -69,6 +79,8 @@ class ProgramGenerator {
   Options options_;
   std::vector<std::pair<OpType, double>> cdf_;  // cumulative mix
   std::unique_ptr<ZipfianGenerator> zipf_;
+  /// First object id past the hot shard range; 0 = shard skew off.
+  std::uint64_t hot_span_ = 0;
 };
 
 /// Open-loop transaction arrivals: each node "originates a fixed number

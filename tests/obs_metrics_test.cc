@@ -184,8 +184,9 @@ TEST(MetricsSnapshotTest, StatsMergeIsParallelWelford) {
   }
   MetricsSnapshot merged = left.Snapshot();
   merged.Merge(right.Snapshot());
+  MetricsSnapshot whole = all.Snapshot();
   const OnlineStats& m = merged.Find("s")->stats;
-  const OnlineStats& c = all.Snapshot().Find("s")->stats;
+  const OnlineStats& c = whole.Find("s")->stats;
   EXPECT_EQ(m.count(), c.count());
   EXPECT_NEAR(m.mean(), c.mean(), 1e-12);
   EXPECT_NEAR(m.stddev(), c.stddev(), 1e-9);

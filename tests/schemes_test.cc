@@ -289,7 +289,8 @@ TEST(LazyGroupBatchingTest, UpdatesShipOnlyAtFlush) {
   EXPECT_GE(cluster.metrics().Get("lazy_group.batches"), 1u);
 }
 
-TEST(LazyGroupBatchingTest, BatchingWindowCreatesConflictsPromptShippingAvoids) {
+TEST(LazyGroupBatchingTest,
+     BatchingWindowCreatesConflictsPromptShippingAvoids) {
   // Node 0 writes X, node 1 writes X one second later. Shipped promptly,
   // the second writer already has the first update and no conflict
   // occurs; batched at 10s, both updates are in flight with stale old
