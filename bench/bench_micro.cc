@@ -48,7 +48,7 @@ BENCHMARK(BM_SimulatorSelfRescheduling);
 
 void BM_LockAcquireReleaseUncontended(benchmark::State& state) {
   WaitForGraph graph;
-  LockManager locks(0, &graph);
+  LockManager locks(0, 4096, &graph);
   TxnId txn = 1;
   ObjectId oid = 0;
   for (auto _ : state) {
@@ -65,7 +65,7 @@ void BM_LockConflictChainGrant(benchmark::State& state) {
   const int kChain = static_cast<int>(state.range(0));
   for (auto _ : state) {
     WaitForGraph graph;
-    LockManager locks(0, &graph);
+    LockManager locks(0, 4096, &graph);
     locks.Acquire(1, 7, nullptr);
     for (TxnId t = 2; t <= static_cast<TxnId>(kChain); ++t) {
       locks.Acquire(t, 7, [] {});

@@ -152,8 +152,10 @@ void FaultInjector::HealPartition(const std::string& name) {
       Separate(a, b, -1);
     }
   }
-  active_partitions_.erase(it);
+  // Log before erasing: `name` may alias the map key being erased
+  // (HealAll passes `active_partitions_.begin()->first`).
   Log(StrPrintf("heal-partition \"%s\"", name.c_str()));
+  active_partitions_.erase(it);
   cluster_->metrics().Increment("fault.partition_heals");
 }
 

@@ -13,6 +13,7 @@ Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
       outbox_(nodes_.size()),
       inbox_(nodes_.size()),
       link_up_(nodes_.size() * nodes_.size(), 1),
+      held_(nodes_.size() * nodes_.size()),
       on_reconnect_(nodes_.size()),
       on_disconnect_(nodes_.size()) {
   if (metrics != nullptr) {
@@ -28,28 +29,36 @@ Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
   }
 }
 
+Network::~Network() = default;
+
 void Network::Send(NodeId from, NodeId to, Handler fn) {
   assert(from < nodes_.size() && to < nodes_.size());
   ++sent_;
   m_sent_.Increment();
+  Handle h = pool_.Acquire(from, to, std::move(fn));
   if (from != to && !nodes_[from]->connected()) {
     // Sender offline: hold in its outbox until reconnect.
     ++queued_;
-    outbox_[from].push_back(Pending{from, to, std::move(fn)});
+    pool_.Push(outbox_[from], h);
     return;
   }
-  Transmit(from, to, std::move(fn));
+  Transmit(h);
 }
 
-void Network::Transmit(NodeId from, NodeId to, Handler fn) {
+void Network::Transmit(Handle h) {
+  NodeId from, to;
+  {
+    net::MessagePool::Message& m = pool_.Get(h);
+    from = m.from;
+    to = m.to;
+  }
   SimTime extra = SimTime::Zero();
-  std::uint32_t copies = 1;
   if (from != to) {
     if (!LinkUp(from, to)) {
       // Link cut: park on the link; SetLinkUp(..., true) resumes us.
       ++held_total_;
       m_held_.Increment();
-      held_[{from, to}].push_back(Pending{from, to, std::move(fn)});
+      pool_.Push(held_[LinkIndex(from, to)], h);
       return;
     }
     if (interceptor_ != nullptr) {
@@ -57,52 +66,64 @@ void Network::Transmit(NodeId from, NodeId to, Handler fn) {
       if (v.drop || v.copies == 0) {
         ++dropped_;
         m_dropped_.Increment();
+        pool_.Release(h);
         return;
       }
-      copies = v.copies;
       extra = v.extra_delay;
-      if (copies > 1) {
-        duplicated_ += copies - 1;
-        m_duplicated_.Increment(copies - 1);
+      if (v.copies > 1) {
+        // One record, delivered `copies` times at arrival. The copies
+        // would have been scheduled back-to-back with consecutive seqs
+        // at the same latency, so nothing could interleave between
+        // them — merged delivery is observationally identical.
+        pool_.Get(h).copies = v.copies;
+        duplicated_ += v.copies - 1;
+        m_duplicated_.Increment(v.copies - 1);
       }
     }
   }
   SimTime latency = options_.delay + options_.message_cpu * 2 + extra;
-  for (std::uint32_t c = 1; c < copies; ++c) {
-    sim_->ScheduleAfter(latency, [this, from, to, fn]() mutable {
-      Arrive(from, to, std::move(fn));
-    });
-  }
-  sim_->ScheduleAfter(latency, [this, from, to, fn = std::move(fn)]() mutable {
-    Arrive(from, to, std::move(fn));
-  });
+  sim_->ScheduleAfter(latency, [this, h]() { Arrive(h); });
 }
 
-void Network::Arrive(NodeId from, NodeId to, Handler fn) {
+void Network::Arrive(Handle h) {
+  NodeId from, to;
+  std::uint32_t copies;
+  {
+    net::MessagePool::Message& m = pool_.Get(h);
+    from = m.from;
+    to = m.to;
+    copies = m.copies;
+  }
   if (from != to && nodes_[to]->crashed()) {
     // A crashed receiver has no process to buffer the message; it is
     // lost (the sender-side out_log, not this copy, is what recovery
     // replays).
-    ++dropped_;
-    m_crash_dropped_.Increment();
+    dropped_ += copies;
+    m_crash_dropped_.Increment(copies);
+    pool_.Release(h);
     return;
   }
   if (from != to && !nodes_[to]->connected()) {
     // Receiver offline: hold in its inbox until reconnect.
-    ++queued_;
-    inbox_[to].push_back(Pending{from, to, std::move(fn)});
+    queued_ += copies;
+    pool_.Push(inbox_[to], h);
     return;
   }
-  ++delivered_;
-  m_delivered_.Increment();
-  fn();
+  // Move the handler out of the slab before invoking: the handler may
+  // Send (growing the slab, which would invalidate the record
+  // reference), and releasing first lets the slot recycle immediately.
+  sim::Callback fn = std::move(pool_.Get(h).fn);
+  pool_.Release(h);
+  delivered_ += copies;
+  m_delivered_.Increment(copies);
+  for (std::uint32_t c = 0; c < copies; ++c) fn();
 }
 
-void Network::Broadcast(NodeId from,
-                        const std::function<Handler(NodeId)>& make) {
-  for (NodeId to = 0; to < nodes_.size(); ++to) {
-    if (to == from) continue;
-    Send(from, to, make(to));
+void Network::Discard(MsgQueue& q) {
+  for (Handle h = pool_.Detach(q); h != net::MessagePool::kNil;) {
+    Handle next = pool_.NextOf(h);
+    pool_.Release(h);
+    h = next;
   }
 }
 
@@ -116,16 +137,24 @@ void Network::SetConnected(NodeId node, bool connected) {
     return;
   }
   // Reconnect: flush the outbox (messages start their journey now) and
-  // the inbox (messages that arrived while offline deliver now).
-  std::deque<Pending> out = std::move(outbox_[node]);
-  outbox_[node].clear();
-  for (Pending& p : out) Transmit(p.from, p.to, std::move(p.fn));
-  std::deque<Pending> in = std::move(inbox_[node]);
-  inbox_[node].clear();
-  for (Pending& p : in) {
-    ++delivered_;
-    m_delivered_.Increment();
-    p.fn();
+  // the inbox (messages that arrived while offline deliver now). Both
+  // chains are detached first, so handlers re-queueing traffic cannot
+  // perturb the drain.
+  for (Handle h = pool_.Detach(outbox_[node]);
+       h != net::MessagePool::kNil;) {
+    Handle next = pool_.NextOf(h);
+    Transmit(h);
+    h = next;
+  }
+  for (Handle h = pool_.Detach(inbox_[node]); h != net::MessagePool::kNil;) {
+    Handle next = pool_.NextOf(h);
+    std::uint32_t copies = pool_.Get(h).copies;
+    sim::Callback fn = std::move(pool_.Get(h).fn);
+    pool_.Release(h);
+    delivered_ += copies;
+    m_delivered_.Increment(copies);
+    for (std::uint32_t c = 0; c < copies; ++c) fn();
+    h = next;
   }
   for (const auto& fn : on_reconnect_[node]) fn();
 }
@@ -160,13 +189,15 @@ void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
   link_up_[LinkIndex(b, a)] = up ? 1 : 0;
   if (!up) return;
   // Heal: resume transmission of everything parked on the link, in the
-  // order it was sent (per direction), then let catch-up protocols run.
-  for (auto key : {std::make_pair(a, b), std::make_pair(b, a)}) {
-    auto it = held_.find(key);
-    if (it == held_.end()) continue;
-    std::deque<Pending> parked = std::move(it->second);
-    held_.erase(it);
-    for (Pending& p : parked) Transmit(p.from, p.to, std::move(p.fn));
+  // order it was sent (per direction, (a, b) before (b, a) — the order
+  // the former std::map representation flushed in), then let catch-up
+  // protocols run.
+  for (std::size_t idx : {LinkIndex(a, b), LinkIndex(b, a)}) {
+    for (Handle h = pool_.Detach(held_[idx]); h != net::MessagePool::kNil;) {
+      Handle next = pool_.NextOf(h);
+      Transmit(h);
+      h = next;
+    }
   }
   for (const auto& fn : on_link_restored_) fn(a, b);
 }
@@ -183,11 +214,11 @@ void Network::Crash(NodeId node) {
   SetConnected(node, false);
   // Volatile receive buffers are gone. The outbox stays: each entry is a
   // committed update in the node's durable log, re-shipped at Restart.
-  std::size_t lost = inbox_[node].size();
+  std::size_t lost = static_cast<std::size_t>(inbox_[node].count);
   if (lost > 0) {
-    inbox_[node].clear();
     dropped_ += lost;
     m_inbox_lost_.Increment(lost);
+    Discard(inbox_[node]);
   }
   m_crashes_.Increment();
 }
@@ -205,7 +236,9 @@ void Network::Restart(NodeId node) {
 
 std::size_t Network::HeldCount() const {
   std::size_t total = 0;
-  for (const auto& [key, q] : held_) total += q.size();
+  for (const MsgQueue& q : held_) {
+    total += static_cast<std::size_t>(q.count);
+  }
   return total;
 }
 

@@ -2,13 +2,13 @@
 #define TDR_NET_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "net/message_pool.h"
 #include "obs/metrics.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "txn/node.h"
 #include "util/rng.h"
@@ -44,12 +44,25 @@ namespace tdr {
 ///    arriving while it is down are dropped. Its outbox survives — a
 ///    queued outbound message corresponds to a committed update in the
 ///    node's recovery log, and Restart re-ships it (log recovery).
+///
+/// Allocation model: every message lives in a net::MessagePool record
+/// from Send to delivery — queued, link-parked, and in-flight states
+/// are intrusive links over the same slab, and a scheduled delivery
+/// captures only (this, handle). A duplicated transmission (fault
+/// injection) stays ONE record whose handler runs `copies` times at
+/// arrival: the injector schedules copies back-to-back at the same
+/// latency with consecutive event seqs, so no other event can
+/// interleave and the merged delivery is observationally identical.
+/// Handlers therefore must tolerate repeat invocation (treat captured
+/// payloads as read-only); they run from simulated time, never
+/// synchronously inside Send.
 class Network {
  public:
   /// A delivered message is just a callback run at the destination at
   /// delivery time. Replication schemes close over whatever state the
-  /// message carries (update records, transaction programs, ...).
-  using Handler = std::function<void()>;
+  /// message carries — move-only, 64-byte small-buffer (sim::Callback);
+  /// bulk payloads ride in a RecordBufferPool lease, not the capture.
+  using Handler = sim::Callback;
 
   struct Options {
     /// One-way propagation delay (paper default: zero).
@@ -82,13 +95,23 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  ~Network();
+
   /// Sends a message; `fn` runs at the destination after the configured
   /// delay once both endpoints have been connected. Self-sends are
   /// delivered (with delay) without touching connectivity or faults.
   void Send(NodeId from, NodeId to, Handler fn);
 
-  /// Broadcasts to every node except `from`.
-  void Broadcast(NodeId from, const std::function<Handler(NodeId to)>& make);
+  /// Broadcasts to every node except `from`; `make(to)` builds each
+  /// destination's handler. Templated so per-destination handler
+  /// construction goes straight into the pooled record.
+  template <typename MakeHandler>
+  void Broadcast(NodeId from, MakeHandler&& make) {
+    for (NodeId to = 0; to < nodes_.size(); ++to) {
+      if (to == from) continue;
+      Send(from, to, make(to));
+    }
+  }
 
   /// Marks the node (dis)connected and flushes queues on reconnect.
   /// This is the single authority on Node::connected().
@@ -142,20 +165,23 @@ class Network {
   std::uint64_t messages_duplicated() const { return duplicated_; }
   std::uint64_t messages_held() const { return held_total_; }
   std::size_t PendingAt(NodeId node) const {
-    return outbox_[node].size() + inbox_[node].size();
+    return static_cast<std::size_t>(outbox_[node].count +
+                                    inbox_[node].count);
   }
   /// Messages currently parked on cut links.
   std::size_t HeldCount() const;
 
- private:
-  struct Pending {
-    NodeId from;
-    NodeId to;
-    Handler fn;
-  };
+  /// Pool occupancy: messages currently queued, parked, or in flight.
+  std::size_t MessagesLive() const { return pool_.in_use(); }
 
-  void Transmit(NodeId from, NodeId to, Handler fn);
-  void Arrive(NodeId from, NodeId to, Handler fn);
+ private:
+  using Handle = net::MessagePool::Handle;
+  using MsgQueue = net::MessagePool::Queue;
+
+  void Transmit(Handle h);
+  void Arrive(Handle h);
+  /// Releases every record in `q` (counters untouched).
+  void Discard(MsgQueue& q);
   std::size_t LinkIndex(NodeId a, NodeId b) const {
     return static_cast<std::size_t>(a) * nodes_.size() + b;
   }
@@ -175,13 +201,15 @@ class Network {
   obs::MetricsRegistry::Counter m_crashes_;
   obs::MetricsRegistry::Counter m_restarts_;
   MessageInterceptor* interceptor_ = nullptr;
-  std::vector<std::deque<Pending>> outbox_;  // per sender
-  std::vector<std::deque<Pending>> inbox_;   // per receiver
-  std::vector<std::uint8_t> link_up_;        // n*n, symmetric
-  // Messages parked on cut links, per directed (from, to) pair; FIFO
-  // order is preserved through heal, so per-link ordering survives a
-  // partition. std::map keeps flush order deterministic.
-  std::map<std::pair<NodeId, NodeId>, std::deque<Pending>> held_;
+  net::MessagePool pool_;
+  std::vector<MsgQueue> outbox_;  // per sender
+  std::vector<MsgQueue> inbox_;   // per receiver
+  std::vector<std::uint8_t> link_up_;  // n*n, symmetric
+  // Messages parked on cut links, indexed by directed LinkIndex(from,
+  // to); FIFO order is preserved through heal, so per-link ordering
+  // survives a partition. Heal drains (a, b) then (b, a) — the same
+  // deterministic order the std::map representation flushed in.
+  std::vector<MsgQueue> held_;
   std::vector<std::vector<std::function<void()>>> on_reconnect_;
   std::vector<std::vector<std::function<void()>>> on_disconnect_;
   std::vector<std::function<void(NodeId, NodeId)>> on_link_restored_;

@@ -15,12 +15,11 @@ std::string UpdateBatch::ToString() const {
 
 void UpdateBatchBuilder::Add(const UpdateRecord& rec, bool coalesce) {
   if (coalesce) {
-    auto it = index_.find(rec.oid);
-    if (it != index_.end()) {
+    if (std::uint32_t* pos = index_.Find(rec.oid + 1)) {
       // Chain compaction: keep the pending record's pre-image, adopt
       // the newer post-image. The receiver applies one hop t0 -> tk in
       // place of the k-hop chain.
-      UpdateRecord& pending = updates_[it->second];
+      UpdateRecord& pending = updates_[*pos];
       pending.txn = rec.txn;
       pending.new_ts = rec.new_ts;
       pending.new_value = rec.new_value;
@@ -28,7 +27,8 @@ void UpdateBatchBuilder::Add(const UpdateRecord& rec, bool coalesce) {
       ++coalesced_;
       return;
     }
-    index_.emplace(rec.oid, updates_.size());
+    index_.Insert(rec.oid + 1,
+                  static_cast<std::uint32_t>(updates_.size()));
   }
   updates_.push_back(rec);
 }
@@ -36,16 +36,22 @@ void UpdateBatchBuilder::Add(const UpdateRecord& rec, bool coalesce) {
 UpdateBatch UpdateBatchBuilder::Take(NodeId origin, NodeId dest,
                                      std::uint64_t seq, SimTime opened) {
   UpdateBatch batch;
-  batch.origin = origin;
-  batch.dest = dest;
-  batch.seq = seq;
-  batch.opened = opened;
-  batch.updates = std::move(updates_);
-  batch.coalesced = coalesced_;
-  updates_.clear();
-  index_.clear();
-  coalesced_ = 0;
+  TakeInto(origin, dest, seq, opened, &batch);
   return batch;
+}
+
+void UpdateBatchBuilder::TakeInto(NodeId origin, NodeId dest,
+                                  std::uint64_t seq, SimTime opened,
+                                  UpdateBatch* out) {
+  out->origin = origin;
+  out->dest = dest;
+  out->seq = seq;
+  out->opened = opened;
+  out->updates.swap(updates_);
+  out->coalesced = coalesced_;
+  updates_.clear();
+  index_.Clear();
+  coalesced_ = 0;
 }
 
 }  // namespace tdr

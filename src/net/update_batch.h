@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/types.h"
 #include "storage/update_log.h"
+#include "util/flat_map.h"
 #include "util/sim_time.h"
 
 namespace tdr {
@@ -45,6 +45,13 @@ struct UpdateBatch {
   std::string ToString() const;
 };
 
+/// SharedPool reset hook: pooled batches recycle with their update
+/// vector's capacity retained.
+inline void PoolClear(UpdateBatch& batch) {
+  batch.updates.clear();
+  batch.coalesced = 0;
+}
+
 /// Accumulates one (origin, dest) stream's updates between flushes.
 /// Append is O(1); per-object compaction is an index hit. The builder
 /// is deliberately network-oblivious — the replication layer decides
@@ -65,10 +72,24 @@ class UpdateBatchBuilder {
   UpdateBatch Take(NodeId origin, NodeId dest, std::uint64_t seq,
                    SimTime opened);
 
+  /// Allocation-free Take: swaps the pending updates into `*out`
+  /// (whose cleared vector's capacity the builder inherits for the
+  /// next window) instead of minting a new batch.
+  void TakeInto(NodeId origin, NodeId dest, std::uint64_t seq,
+                SimTime opened, UpdateBatch* out);
+
+  /// Pre-grows the pending-update buffer. TakeInto swaps capacities
+  /// with the receiving batch, so callers cycling builders against a
+  /// batch pool should hold both sides at a common floor — otherwise
+  /// every swap can hand a window a buffer smaller than its traffic.
+  void Reserve(std::size_t n) { updates_.reserve(n); }
+
  private:
   std::vector<UpdateRecord> updates_;
-  // Pending position per object, for compaction.
-  std::unordered_map<ObjectId, std::size_t> index_;
+  // Pending position per object, for compaction. Flat map so the
+  // per-window fill/clear cycle allocates nothing at steady state;
+  // keys are oid + 1 (key 0 is the map's empty sentinel).
+  FlatMap64<std::uint32_t> index_;
   std::uint64_t coalesced_ = 0;
 };
 

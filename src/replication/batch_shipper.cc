@@ -14,6 +14,17 @@ BatchShipper::BatchShipper(sim::Simulator* sim, Network* net,
       options_(options),
       deliver_(std::move(deliver)),
       streams_(static_cast<std::size_t>(num_nodes) * num_nodes) {
+  // Builders and pooled batches exchange their buffers on every flush
+  // (TakeInto swaps), so both sides are held at a common capacity floor:
+  // the size cap plus one transaction's worth of overshoot (the cap is
+  // tested after an Enqueue finishes appending), or a fixed working-set
+  // floor for window-only streams. Without it, buffer capacities churn
+  // through the pool and windows keep re-growing whichever buffer they
+  // draw — a steady allocation trickle instead of a one-time ratchet.
+  reserve_floor_ = options_.max_batch_updates > 0
+                       ? options_.max_batch_updates + 32
+                       : 160;
+  for (Stream& s : streams_) s.builder.Reserve(reserve_floor_);
   if (metrics != nullptr) {
     std::vector<obs::Label> labels{{"stream", std::string(stream)}};
     m_batches_ = metrics->GetCounter("batch.shipped", labels);
@@ -32,11 +43,16 @@ BatchShipper::~BatchShipper() {
 
 void BatchShipper::Enqueue(NodeId origin, NodeId dest,
                            const std::vector<UpdateRecord>& records) {
-  if (records.empty() || origin == dest) return;
+  Enqueue(origin, dest, records.data(), records.size());
+}
+
+void BatchShipper::Enqueue(NodeId origin, NodeId dest,
+                           const UpdateRecord* records, std::size_t count) {
+  if (count == 0 || origin == dest) return;
   Stream& s = StreamOf(origin, dest);
   bool was_empty = s.builder.empty();
-  for (const UpdateRecord& rec : records) {
-    s.builder.Add(rec, options_.coalesce);
+  for (std::size_t i = 0; i < count; ++i) {
+    s.builder.Add(records[i], options_.coalesce);
   }
   if (was_empty) {
     s.opened = sim_->Now();
@@ -59,18 +75,24 @@ void BatchShipper::Flush(NodeId origin, NodeId dest) {
     s.flush_event = sim::kInvalidEventId;
   }
   if (s.builder.empty()) return;
-  UpdateBatch batch = s.builder.Take(origin, dest, s.next_seq++, s.opened);
+  // The batch rides the network as a pooled lease: released (vector
+  // capacity retained) when the message record is delivered or
+  // dropped. The deliver handler may run more than once (duplicate
+  // delivery), so it reads the lease without consuming it.
+  net::SharedPool<UpdateBatch>::Lease batch = batch_pool_.Acquire();
+  batch->updates.reserve(reserve_floor_);  // swap hands this to the builder
+  s.builder.TakeInto(origin, dest, s.next_seq++, s.opened, &*batch);
   ++batches_shipped_;
-  updates_shipped_ += batch.size();
-  updates_coalesced_ += batch.coalesced;
+  updates_shipped_ += batch->size();
+  updates_coalesced_ += batch->coalesced;
   m_batches_.Increment();
-  m_updates_.Increment(batch.size());
-  m_coalesced_.Increment(batch.coalesced);
-  m_batch_size_.Record(batch.size());
+  m_updates_.Increment(batch->size());
+  m_coalesced_.Increment(batch->coalesced);
+  m_batch_size_.Record(batch->size());
   m_flush_delay_us_.Record(
-      static_cast<std::uint64_t>((sim_->Now() - batch.opened).micros()));
+      static_cast<std::uint64_t>((sim_->Now() - batch->opened).micros()));
   net_->Send(origin, dest,
-             [this, batch = std::move(batch)] { deliver_(batch); });
+             [this, batch = std::move(batch)] { deliver_(*batch); });
 }
 
 void BatchShipper::FlushFrom(NodeId origin) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "net/message_pool.h"
 #include "net/network.h"
 #include "net/update_batch.h"
 #include "obs/metrics.h"
@@ -69,6 +70,11 @@ class BatchShipper {
   void Enqueue(NodeId origin, NodeId dest,
                const std::vector<UpdateRecord>& records);
 
+  /// Span form: parks `count` records starting at `records` (the
+  /// allocation-free path for shipping a slice of a commit's updates).
+  void Enqueue(NodeId origin, NodeId dest, const UpdateRecord* records,
+               std::size_t count);
+
   /// Ships the (origin, dest) stream's pending batch now, if any.
   void Flush(NodeId origin, NodeId dest);
 
@@ -103,7 +109,13 @@ class BatchShipper {
   std::uint32_t num_nodes_;
   Options options_;
   DeliverFn deliver_;
+  // Common capacity floor for builders and pooled batches (they swap
+  // buffers on flush); see the constructor.
+  std::size_t reserve_floor_ = 0;
   std::vector<Stream> streams_;  // n*n, indexed origin*n + dest
+  // Shipped batches ride the network as pooled leases (released when
+  // the message is delivered or dropped), not per-flush allocations.
+  net::SharedPool<UpdateBatch> batch_pool_;
   // Cached handles (no-ops without a registry).
   obs::MetricsRegistry::Counter m_batches_;
   obs::MetricsRegistry::Counter m_updates_;

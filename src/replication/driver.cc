@@ -32,6 +32,15 @@ WorkloadDriver::WorkloadDriver(Cluster* cluster, ReplicationScheme* scheme,
       scheme_(scheme),
       options_(options),
       generator_(WithDbSize(options.workload, cluster->options().db_size)) {
+  // Resolve every labeled handle once — metric resolution builds label
+  // strings, and Run() is expected to stay allocation-free per window
+  // (the E14 steady-state contract).
+  for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
+    submitted_at_.push_back(cluster_->metrics().GetCounter(
+        "driver.submitted", {{"node", std::to_string(origin)}}));
+  }
+  skipped_crashed_ = cluster_->metrics().GetCounter("driver.skipped_crashed");
+  profile_event_loop_ = cluster_->metrics().GetProfile("profile.event_loop");
 }
 
 std::uint64_t WorkloadDriver::CurrentReconciliations() const {
@@ -66,12 +75,9 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     aopts.tps = options_.tps_per_node;
     aopts.poisson = options_.poisson_arrivals;
     auto gen_rng = std::make_shared<Rng>(rng.Fork());
-    // Per-origin submission counter, labeled by node — handle acquired
-    // once here, bumped allocation-free on every arrival.
-    obs::MetricsRegistry::Counter submitted_at =
-        cluster_->metrics().GetCounter(
-            "driver.submitted",
-            {{"node", std::to_string(origin)}});
+    // Per-origin submission counter handles were resolved in the
+    // constructor; bumping them is allocation-free on every arrival.
+    obs::MetricsRegistry::Counter submitted_at = submitted_at_[origin];
     arrivals.push_back(std::make_unique<OpenLoopArrivals>(
         &cluster_->sim(), aopts, rng.Fork(),
         [this, &outcome, origin, gen_rng, submitted_at]() mutable {
@@ -79,13 +85,14 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
             // A crashed node originates nothing; its arrival stream
             // still ticks (and consumes randomness) so the fault does
             // not perturb other nodes' workloads.
-            cluster_->metrics().Increment("driver.skipped_crashed");
-            (void)generator_.Next(*gen_rng);
+            skipped_crashed_.Increment();
+            generator_.NextInto(*gen_rng, &program_scratch_);
             return;
           }
           ++outcome.submitted;
           submitted_at.Increment();
-          scheme_->Submit(origin, generator_.Next(*gen_rng), nullptr);
+          generator_.NextInto(*gen_rng, &program_scratch_);
+          scheme_->Submit(origin, program_scratch_, nullptr);
         }));
     arrivals.back()->Start();
   }
@@ -95,8 +102,7 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     // Wall-clock cost of the whole event loop for this window — the
     // profile section of run reports (kProfile: never part of
     // deterministic snapshots).
-    obs::ProfileScope scope(
-        cluster_->metrics().GetProfile("profile.event_loop"));
+    obs::ProfileScope scope(profile_event_loop_);
     cluster_->sim().RunUntil(horizon);
   }
   for (auto& a : arrivals) a->Stop();

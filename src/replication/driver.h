@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "replication/cluster.h"
 #include "replication/scheme.h"
 #include "workload/workload.h"
@@ -90,6 +91,14 @@ class WorkloadDriver {
   ReplicationScheme* scheme_;
   Options options_;
   ProgramGenerator generator_;
+  /// Reused per arrival (single-threaded sim): programs are regenerated
+  /// in place instead of allocated per transaction.
+  Program program_scratch_;
+  /// Metric handles resolved once (label strings allocate); reused by
+  /// every window so Run() itself stays off the allocator.
+  std::vector<obs::MetricsRegistry::Counter> submitted_at_;
+  obs::MetricsRegistry::Counter skipped_crashed_;
+  obs::MetricsRegistry::StatsHandle profile_event_loop_;
   std::uint64_t submitted_ = 0;
 };
 

@@ -35,9 +35,9 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
   }
   // Compile: each write applies at the origin replica first, then at
   // every other (connected) replica, sequentially — Figure 1's
-  // three-node eager transaction.
-  std::vector<ExecStep> steps;
-  steps.reserve(program.size() * cluster_->size());
+  // three-node eager transaction. The plan builds in the executor's
+  // scratch buffer and runs out of a pooled transaction record.
+  std::vector<ExecStep>& steps = cluster_->executor().NewPlan();
   for (const Op& op : program.ops()) {
     if (!op.IsWrite()) {
       steps.push_back(ExecStep{origin, op});
@@ -56,8 +56,7 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
   opts.record_updates = options_.record_updates;
   opts.lock_reads = options_.lock_reads;
   opts.wait_timeout = options_.wait_timeout;
-  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
-                           std::move(done));
+  cluster_->executor().RunPlan(origin, std::move(opts), std::move(done));
 }
 
 void EagerMasterScheme::Submit(NodeId origin, const Program& program,
@@ -80,8 +79,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
   }
   // Compile: writes lock the master copy first ("updates go to this node
   // first and are then applied to the replicas"), then fan out.
-  std::vector<ExecStep> steps;
-  steps.reserve(program.size() * cluster_->size());
+  std::vector<ExecStep>& steps = cluster_->executor().NewPlan();
   for (const Op& op : program.ops()) {
     NodeId owner = ownership_->OwnerOf(op.oid);
     if (!op.IsWrite()) {
@@ -99,8 +97,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
   Executor::RunOptions opts;
   opts.action_time = cluster_->options().action_time;
   opts.record_updates = options_.record_updates;
-  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
-                           std::move(done));
+  cluster_->executor().RunPlan(origin, std::move(opts), std::move(done));
 }
 
 }  // namespace tdr

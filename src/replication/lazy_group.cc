@@ -36,17 +36,18 @@ void LazyGroupScheme::Submit(NodeId origin, const Program& program,
   // The root transaction is purely local — that is the whole point of
   // lazy replication ("One replica is updated by the originating
   // transaction", Figure 1). A disconnected mobile node can still run it.
+  // Propagation hangs off the observer hook rather than a wrapper
+  // around `done`, so submission allocates nothing.
   Executor::RunOptions opts;
   opts.action_time = cluster_->options().action_time;
   opts.record_updates = true;
-  cluster_->executor().Run(
-      origin, LocalPlan(origin, program), std::move(opts),
-      [this, done = std::move(done)](const TxnResult& result) {
-        if (result.outcome == TxnOutcome::kCommitted) {
-          Propagate(result);
-        }
-        if (done) done(result);
-      });
+  opts.observer = this;
+  LocalPlanInto(origin, program, &cluster_->executor().NewPlan());
+  cluster_->executor().RunPlan(origin, std::move(opts), std::move(done));
+}
+
+void LazyGroupScheme::OnTxnDone(const TxnResult& result) {
+  if (result.outcome == TxnOutcome::kCommitted) Propagate(result);
 }
 
 void LazyGroupScheme::Propagate(const TxnResult& result) {
@@ -87,18 +88,23 @@ void LazyGroupScheme::FlushAllBatches() {
 }
 
 void LazyGroupScheme::Ship(NodeId origin,
-                           std::vector<UpdateRecord> records) {
+                           const std::vector<UpdateRecord>& records) {
   // One replica-update transaction per remote node (Figure 1's "three
   // transactions"). If the origin is disconnected, Network queues these
   // in its outbox until reconnect — the 24-hour-propagation-delay effect
-  // of §4's mobile scenario.
+  // of §4's mobile scenario. Each message carries a pooled payload
+  // lease; the handler reads it without consuming (it may legally be
+  // invoked more than once under duplicate delivery), and the lease
+  // recycles the buffer when the message record is released.
   for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
     if (dest == origin) continue;
     Node* dest_node = cluster_->node(dest);
-    std::vector<UpdateRecord> copy = records;
+    net::RecordBufferPool::Lease payload = record_pool_.Acquire();
+    *payload = records;
     cluster_->net().Send(
-        origin, dest, [this, dest_node, records = std::move(copy)]() mutable {
-          ApplyAt(dest_node, std::move(records));
+        origin, dest,
+        [this, dest_node, payload = std::move(payload)]() {
+          ApplyAt(dest_node, *payload);
         });
   }
 }
@@ -107,13 +113,14 @@ void LazyGroupScheme::ApplyBatch(const UpdateBatch& batch) {
   ApplyAt(cluster_->node(batch.dest), batch.updates);
 }
 
-void LazyGroupScheme::ApplyAt(Node* dest, std::vector<UpdateRecord> records) {
+void LazyGroupScheme::ApplyAt(Node* dest,
+                              const std::vector<UpdateRecord>& records) {
   ReplicaApplier::Options aopts;
   aopts.action_time = cluster_->options().action_time;
   aopts.mode = ReplicaApplier::Mode::kTimestampMatch;
   aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
   aopts.shards = &cluster_->shards();
-  applier_.Apply(dest, std::move(records), aopts,
+  applier_.Apply(dest, records, aopts,
                  [this](const ReplicaApplier::Report& report) {
                    reconciliations_ += report.conflicts;
                    replica_applied_ += report.applied;

@@ -25,7 +25,7 @@ namespace tdr {
 /// network outbox ("the node accepts and applies transactions for a
 /// day; then at night it connects and downloads them"), so the mobile
 /// analysis of Eqs. (15)-(18) falls out of the same code path.
-class LazyGroupScheme : public ReplicationScheme {
+class LazyGroupScheme : public ReplicationScheme, private TxnObserver {
  public:
   struct Options {
     /// Retry replica-update transactions that become deadlock victims.
@@ -91,15 +91,22 @@ class LazyGroupScheme : public ReplicationScheme {
   std::uint64_t replica_applied() const { return replica_applied_; }
 
  private:
+  /// Executor completion hook (set as RunOptions::observer on every
+  /// root transaction): propagates committed updates. Runs before the
+  /// caller's done callback, exactly where the old done-wrapper ran.
+  void OnTxnDone(const TxnResult& result) override;
   void Propagate(const TxnResult& result);
-  void Ship(NodeId origin, std::vector<UpdateRecord> records);
+  void Ship(NodeId origin, const std::vector<UpdateRecord>& records);
   void ApplyBatch(const UpdateBatch& batch);
-  void ApplyAt(Node* dest, std::vector<UpdateRecord> records);
+  void ApplyAt(Node* dest, const std::vector<UpdateRecord>& records);
 
   Cluster* cluster_;
   Options options_;
   ReplicaApplier applier_;
   std::unique_ptr<BatchShipper> shipper_;
+  /// Pooled payload buffers for unbatched shipping: each replica-update
+  /// message captures a lease instead of an owned vector copy.
+  net::RecordBufferPool record_pool_;
   std::vector<sim::EventId> flusher_series_;
   std::uint64_t reconciliations_ = 0;
   std::uint64_t replica_applied_ = 0;

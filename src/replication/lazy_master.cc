@@ -1,6 +1,7 @@
 #include "replication/lazy_master.h"
 
 #include <cassert>
+#include <cstddef>
 #include <utility>
 
 namespace tdr {
@@ -66,9 +67,10 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
   }
   // Compile: every op runs at its object's master. This is the "send an
   // RPC to the node owning the object" model; the message costs are the
-  // ones the paper ignores.
-  std::vector<ExecStep> steps;
-  steps.reserve(program.size());
+  // ones the paper ignores. Propagation hangs off the observer hook
+  // rather than a wrapper around `done`, so submission allocates
+  // nothing (beyond a caller-supplied precommit closure).
+  std::vector<ExecStep>& steps = cluster_->executor().NewPlan();
   for (const Op& op : program.ops()) {
     steps.push_back(ExecStep{ownership_->OwnerOf(op.oid), op});
   }
@@ -76,14 +78,12 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
   opts.action_time = cluster_->options().action_time;
   opts.record_updates = true;
   opts.precommit = std::move(precommit);
-  cluster_->executor().Run(
-      origin, std::move(steps), std::move(opts),
-      [this, done = std::move(done)](const TxnResult& result) {
-        if (result.outcome == TxnOutcome::kCommitted) {
-          Propagate(result);
-        }
-        if (done) done(result);
-      });
+  opts.observer = this;
+  cluster_->executor().RunPlan(origin, std::move(opts), std::move(done));
+}
+
+void LazyMasterScheme::OnTxnDone(const TxnResult& result) {
+  if (result.outcome == TxnOutcome::kCommitted) Propagate(result);
 }
 
 void LazyMasterScheme::CatchUpNode(NodeId node) {
@@ -115,35 +115,46 @@ void LazyMasterScheme::CatchUpAll() {
 void LazyMasterScheme::Propagate(const TxnResult& result) {
   if (result.updates.empty()) return;
   // Group records by the master that installed them; each master then
-  // broadcasts one slave-refresh transaction per other node.
-  std::map<NodeId, std::vector<UpdateRecord>> by_master;
-  for (const UpdateRecord& rec : result.updates) {
-    by_master[rec.origin].push_back(rec);
-  }
-  for (auto& [master, records] : by_master) {
+  // broadcasts one slave-refresh transaction per other node. The
+  // executor emits update records ordered by (executing node, oid), so
+  // each master's records form one contiguous run — grouping is a scan,
+  // not a map build, and visits masters in the same ascending order.
+  const std::vector<UpdateRecord>& updates = result.updates;
+  for (std::size_t i = 0; i < updates.size();) {
+    const NodeId master = updates[i].origin;
+    std::size_t j = i;
+    while (j < updates.size() && updates[j].origin == master) ++j;
     for (NodeId dest = 0; dest < cluster_->size(); ++dest) {
       if (dest == master) continue;
       if (shipper_ != nullptr) {
-        shipper_->Enqueue(master, dest, records);
+        shipper_->Enqueue(master, dest, &updates[i], j - i);
         continue;
       }
+      // Unbatched: one refresh message per destination, payload carried
+      // in a pooled lease (read-only in the handler — duplicate delivery
+      // may invoke it more than once).
       Node* dest_node = cluster_->node(dest);
-      std::vector<UpdateRecord> copy = records;
-      cluster_->net().Send(master, dest,
-                           [this, dest_node, copy = std::move(copy)]() mutable {
-                             ApplyAt(dest_node, std::move(copy));
-                           });
+      net::RecordBufferPool::Lease payload = record_pool_.Acquire();
+      payload->assign(updates.begin() + static_cast<std::ptrdiff_t>(i),
+                      updates.begin() + static_cast<std::ptrdiff_t>(j));
+      cluster_->net().Send(
+          master, dest,
+          [this, dest_node, payload = std::move(payload)]() {
+            ApplyAt(dest_node, *payload);
+          });
     }
+    i = j;
   }
 }
 
-void LazyMasterScheme::ApplyAt(Node* dest, std::vector<UpdateRecord> records) {
+void LazyMasterScheme::ApplyAt(Node* dest,
+                               const std::vector<UpdateRecord>& records) {
   ReplicaApplier::Options aopts;
   aopts.action_time = cluster_->options().action_time;
   aopts.mode = ReplicaApplier::Mode::kNewerWins;
   aopts.retry_on_deadlock = options_.retry_replica_deadlocks;
   aopts.shards = &cluster_->shards();
-  applier_.Apply(dest, std::move(records), aopts,
+  applier_.Apply(dest, records, aopts,
                  [this](const ReplicaApplier::Report& report) {
                    slave_applied_ += report.applied;
                    stale_ignored_ += report.stale;

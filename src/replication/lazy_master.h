@@ -1,7 +1,6 @@
 #ifndef TDR_REPLICATION_LAZY_MASTER_H_
 #define TDR_REPLICATION_LAZY_MASTER_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,7 +25,7 @@ namespace tdr {
 /// disconnected nodes: Submit returns kUnavailable if any written
 /// object's master is unreachable ("A node wanting to update an object
 /// must be connected to the object owner").
-class LazyMasterScheme : public ReplicationScheme {
+class LazyMasterScheme : public ReplicationScheme, private TxnObserver {
  public:
   struct Options {
     bool retry_replica_deadlocks = true;
@@ -95,14 +94,20 @@ class LazyMasterScheme : public ReplicationScheme {
   std::uint64_t catch_up_objects() const { return catch_up_objects_; }
 
  private:
+  /// Executor completion hook (RunOptions::observer on every master
+  /// transaction): broadcasts slave refreshes on commit. Runs before
+  /// the caller's done callback, exactly where the old done-wrapper ran.
+  void OnTxnDone(const TxnResult& result) override;
   void Propagate(const TxnResult& result);
-  void ApplyAt(Node* dest, std::vector<UpdateRecord> records);
+  void ApplyAt(Node* dest, const std::vector<UpdateRecord>& records);
 
   Cluster* cluster_;
   const Ownership* ownership_;
   Options options_;
   ReplicaApplier applier_;
   std::unique_ptr<BatchShipper> shipper_;
+  /// Pooled payload buffers for unbatched refresh shipping.
+  net::RecordBufferPool record_pool_;
   std::uint64_t slave_applied_ = 0;
   std::uint64_t stale_ignored_ = 0;
   std::uint64_t catch_up_objects_ = 0;

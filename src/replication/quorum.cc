@@ -70,8 +70,11 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
   // Write set: the origin plus replicas it can reach until the quorum
   // is met, kept in ascending id order. The global order serializes all
   // quorum writers of an object through the same first member, so
-  // same-object quorum writes cannot deadlock with each other.
-  std::vector<NodeId> members;
+  // same-object quorum writes cannot deadlock with each other. The
+  // member list is per-scheme scratch: Submit never reenters itself
+  // while it is live.
+  std::vector<NodeId>& members = members_scratch_;
+  members.clear();
   std::uint32_t votes = votes_[origin];
   members.push_back(origin);
   for (NodeId id = 0; id < cluster_->size() && votes < write_quorum_;
@@ -86,8 +89,7 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
   // (kLockOnly steps), then a kQuorumApply step reads the newest locked
   // version, applies the op once, and installs the same value at every
   // member.
-  std::vector<ExecStep> steps;
-  steps.reserve(program.size() * members.size());
+  std::vector<ExecStep>& steps = cluster_->executor().NewPlan();
   int op_index = 0;
   for (const Op& op : program.ops()) {
     if (!op.IsWrite()) {
@@ -108,8 +110,7 @@ void QuorumEagerScheme::Submit(NodeId origin, const Program& program,
   Executor::RunOptions opts;
   opts.action_time = cluster_->options().action_time;
   opts.record_updates = options_.record_updates;
-  cluster_->executor().Run(origin, std::move(steps), std::move(opts),
-                           std::move(done));
+  cluster_->executor().RunPlan(origin, std::move(opts), std::move(done));
 }
 
 Result<StoredObject> QuorumEagerScheme::ReadLatest(ObjectId oid) const {

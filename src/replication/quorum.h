@@ -111,6 +111,9 @@ class QuorumEagerScheme : public ReplicationScheme {
   std::uint32_t write_quorum_ = 0;
   std::uint32_t read_quorum_ = 0;
   std::uint64_t catch_up_objects_ = 0;
+  /// Submit's write-set scratch (reused per call, never live across
+  /// reentry — Submit does not call itself).
+  std::vector<NodeId> members_scratch_;
 };
 
 }  // namespace tdr

@@ -27,39 +27,71 @@ void ReplicaApplier::Emit(TraceEventType type, const Job& job,
   trace_->OnEvent(event);
 }
 
-void ReplicaApplier::Apply(Node* node, std::vector<UpdateRecord> records,
+ReplicaApplier::Job* ReplicaApplier::AcquireJob() {
+  if (free_jobs_.empty()) {
+    auto owned = std::make_unique<Job>();
+    owned->pool_index = static_cast<std::uint32_t>(job_pool_.size());
+    // Uniform birth capacity (256 >= the 128-update batch cap): the
+    // record copy in Apply() then never grows an arbitrary free-list
+    // job's buffer at steady state.
+    owned->records.reserve(256);
+    job_pool_.push_back(std::move(owned));
+    free_jobs_.push_back(job_pool_.back()->pool_index);
+  }
+  Job* job = job_pool_[free_jobs_.back()].get();
+  free_jobs_.pop_back();
+  job->serial = next_serial_++;
+  return job;
+}
+
+void ReplicaApplier::RecycleJob(Job* job) {
+  job->serial = 0;
+  job->node = nullptr;
+  job->records.clear();  // keeps capacity for the next batch
+  job->done = nullptr;
+  job->txn = kInvalidTxnId;
+  job->idx = 0;
+  job->report = Report{};
+  free_jobs_.push_back(job->pool_index);
+}
+
+void ReplicaApplier::Apply(Node* node,
+                           const std::vector<UpdateRecord>& records,
                            Options options, Done done) {
   if (options.shards != nullptr && options.shards->num_shards() > 1 &&
       !records.empty()) {
-    ApplySharded(node, std::move(records), options, std::move(done));
+    ApplySharded(node, records, options, std::move(done));
     return;
   }
-  auto job = std::make_shared<Job>();
+  Job* job = AcquireJob();
   job->node = node;
-  job->records = std::move(records);
+  job->records = records;
   job->options = options;
   job->done = std::move(done);
   job->txn = executor_->AllocateTxnId();
   ++active_;
   if (job->records.empty()) {
-    FinishJob(std::move(job));
+    FinishJob(job);
     return;
   }
-  Emit(TraceEventType::kReplicaTxnStart, *job, job->records[0].oid,
-       StrPrintf("%zu updates from txn %llu", job->records.size(),
-                 (unsigned long long)job->records[0].txn));
-  AcquireNext(std::move(job));
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kReplicaTxnStart, *job, job->records[0].oid,
+         StrPrintf("%zu updates from txn %llu", job->records.size(),
+                   (unsigned long long)job->records[0].txn));
+  }
+  AcquireNext(job);
 }
 
 void ReplicaApplier::ApplySharded(Node* node,
-                                  std::vector<UpdateRecord> records,
+                                  const std::vector<UpdateRecord>& records,
                                   const Options& options, Done done) {
   // Partition by shard, preserving update order within each shard.
   // std::map iterates shards ascending, so sub-transaction start order
-  // is deterministic.
+  // is deterministic. (Cold relative to the single-shard path; the
+  // per-call map/aggregation allocations are accepted here.)
   std::map<ShardId, std::vector<UpdateRecord>> by_shard;
-  for (UpdateRecord& rec : records) {
-    by_shard[options.shards->ShardOf(rec.oid)].push_back(std::move(rec));
+  for (const UpdateRecord& rec : records) {
+    by_shard[options.shards->ShardOf(rec.oid)].push_back(rec);
   }
   Options sub = options;
   sub.shards = nullptr;  // each group is single-shard by construction
@@ -69,7 +101,7 @@ void ReplicaApplier::ApplySharded(Node* node,
   for (auto& [shard, recs] : by_shard) {
     ShardAppliedCounter(shard);  // acquire outside the callback
     ShardId sid = shard;
-    Apply(node, std::move(recs), sub,
+    Apply(node, recs, sub,
           [this, sid, agg, remaining, shared_done](const Report& r) {
             ShardAppliedCounter(sid).Increment(r.applied);
             agg->applied += r.applied;
@@ -98,39 +130,41 @@ obs::MetricsRegistry::Counter& ReplicaApplier::ShardAppliedCounter(
   return shard_applied_[shard];
 }
 
-void ReplicaApplier::AcquireNext(std::shared_ptr<Job> job) {
+void ReplicaApplier::AcquireNext(Job* job) {
   if (job->idx >= job->records.size()) {
     // All updates installed: release locks and report.
     job->node->locks().ReleaseAll(job->txn);
-    FinishJob(std::move(job));
+    FinishJob(job);
     return;
   }
   const UpdateRecord& rec = job->records[job->idx];
-  Job* raw = job.get();
-  LockManager::AcquireOutcome outcome = raw->node->locks().Acquire(
-      raw->txn, rec.oid, [this, job]() mutable {
+  const std::uint64_t serial = job->serial;
+  LockManager::AcquireOutcome outcome = job->node->locks().Acquire(
+      job->txn, rec.oid, [this, job, serial]() {
+        if (job->serial != serial) return;
         // Lock granted after a wait; pay the action time then apply.
-        sim_->ScheduleAfter(job->options.action_time,
-                            [this, job]() mutable {
-                              ApplyCurrent(std::move(job));
-                            });
+        sim_->ScheduleAfter(job->options.action_time, [this, job, serial]() {
+          if (job->serial != serial) return;
+          ApplyCurrent(job);
+        });
       });
   switch (outcome) {
     case LockManager::AcquireOutcome::kGranted:
-      sim_->ScheduleAfter(job->options.action_time, [this, job]() mutable {
-        ApplyCurrent(std::move(job));
+      sim_->ScheduleAfter(job->options.action_time, [this, job, serial]() {
+        if (job->serial != serial) return;
+        ApplyCurrent(job);
       });
       return;
     case LockManager::AcquireOutcome::kQueued:
       m_waits_.Increment();
       return;  // grant callback continues the job
     case LockManager::AcquireOutcome::kDeadlock:
-      HandleDeadlock(std::move(job));
+      HandleDeadlock(job);
       return;
   }
 }
 
-void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
+void ReplicaApplier::ApplyCurrent(Job* job) {
   obs::ProfileScope profile(m_profile_apply_);
   const UpdateRecord& rec = job->records[job->idx];
   Node* node = job->node;
@@ -141,15 +175,19 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
     if (s.ok()) {
       ++job->report.applied;
       m_applied_.Increment();
-      Emit(TraceEventType::kReplicaApply, *job, rec.oid,
-           StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+      if (trace_ != nullptr) {
+        Emit(TraceEventType::kReplicaApply, *job, rec.oid,
+             StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+      }
     } else if (s.IsConflict()) {
       // §4: the node rejects the incoming transaction and submits it for
       // reconciliation. The local value stays; divergence is now visible
       // until someone reconciles.
       ++job->report.conflicts;
       m_conflicts_.Increment();
-      Emit(TraceEventType::kReplicaConflict, *job, rec.oid, s.message());
+      if (trace_ != nullptr) {
+        Emit(TraceEventType::kReplicaConflict, *job, rec.oid, s.message());
+      }
     } else {
       assert(false && "unexpected replica apply failure");
     }
@@ -163,8 +201,10 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
     if (applied) {
       ++job->report.applied;
       m_applied_.Increment();
-      Emit(TraceEventType::kReplicaApply, *job, rec.oid,
-           StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+      if (trace_ != nullptr) {
+        Emit(TraceEventType::kReplicaApply, *job, rec.oid,
+             StrPrintf("<- %s", rec.new_value.ToString().c_str()));
+      }
     } else {
       ++job->report.stale;
       m_stale_.Increment();
@@ -172,10 +212,10 @@ void ReplicaApplier::ApplyCurrent(std::shared_ptr<Job> job) {
     }
   }
   ++job->idx;
-  AcquireNext(std::move(job));
+  AcquireNext(job);
 }
 
-void ReplicaApplier::HandleDeadlock(std::shared_ptr<Job> job) {
+void ReplicaApplier::HandleDeadlock(Job* job) {
   m_deadlocks_.Increment();
   job->node->locks().ReleaseAll(job->txn);
   ++job->report.deadlock_retries;
@@ -183,7 +223,7 @@ void ReplicaApplier::HandleDeadlock(std::shared_ptr<Job> job) {
       job->report.deadlock_retries > job->options.max_retries) {
     job->report.gave_up = true;
     m_gave_up_.Increment();
-    FinishJob(std::move(job));
+    FinishJob(job);
     return;
   }
   // "If a base transaction deadlocks, it is resubmitted and reprocessed
@@ -192,21 +232,28 @@ void ReplicaApplier::HandleDeadlock(std::shared_ptr<Job> job) {
   // before their locks were released, and re-running them would
   // double-count conflicts.
   job->txn = executor_->AllocateTxnId();
-  sim_->ScheduleAfter(job->options.retry_backoff, [this, job]() mutable {
-    AcquireNext(std::move(job));
+  const std::uint64_t serial = job->serial;
+  sim_->ScheduleAfter(job->options.retry_backoff, [this, job, serial]() {
+    if (job->serial != serial) return;
+    AcquireNext(job);
   });
 }
 
-void ReplicaApplier::FinishJob(std::shared_ptr<Job> job) {
+void ReplicaApplier::FinishJob(Job* job) {
   --active_;
-  if (!job->records.empty()) {
+  if (trace_ != nullptr && !job->records.empty()) {
     Emit(TraceEventType::kReplicaTxnDone, *job, job->records[0].oid,
          StrPrintf("applied=%llu stale=%llu conflicts=%llu",
                    (unsigned long long)job->report.applied,
                    (unsigned long long)job->report.stale,
                    (unsigned long long)job->report.conflicts));
   }
-  if (job->done) job->done(job->report);
+  // Recycle before invoking done: a reentrant Apply from the callback
+  // can reuse this slot's buffer capacity immediately.
+  Done done = std::move(job->done);
+  Report report = job->report;
+  RecycleJob(job);
+  if (done) done(report);
 }
 
 }  // namespace tdr

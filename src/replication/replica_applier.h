@@ -88,9 +88,11 @@ class ReplicaApplier {
   ReplicaApplier& operator=(const ReplicaApplier&) = delete;
 
   /// Starts one replica update transaction applying `records` at
-  /// `node`, in order. `done` fires once, in simulated time.
-  void Apply(Node* node, std::vector<UpdateRecord> records, Options options,
-             Done done);
+  /// `node`, in order. The records are copied into a pooled job buffer
+  /// (the pool retains capacity across batches, so steady state copies
+  /// without allocating). `done` fires once, in simulated time.
+  void Apply(Node* node, const std::vector<UpdateRecord>& records,
+             Options options, Done done);
 
   /// Batches currently in flight (including those between retries).
   std::size_t ActiveCount() const { return active_; }
@@ -99,7 +101,13 @@ class ReplicaApplier {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
  private:
+  /// One in-flight batch. Jobs live in a recycled pool (stable
+  /// addresses); callbacks capture the raw pointer plus the job's
+  /// serial and bail if the serial moved on — the pooled analogue of
+  /// the shared_ptr lifetime the applier used to pay an allocation for.
   struct Job {
+    std::uint32_t pool_index = 0;
+    std::uint64_t serial = 0;  // 0 = idle; never reused while active
     Node* node = nullptr;
     std::vector<UpdateRecord> records;
     Options options;
@@ -109,12 +117,14 @@ class ReplicaApplier {
     Report report;
   };
 
-  void ApplySharded(Node* node, std::vector<UpdateRecord> records,
+  Job* AcquireJob();
+  void RecycleJob(Job* job);
+  void ApplySharded(Node* node, const std::vector<UpdateRecord>& records,
                     const Options& options, Done done);
-  void AcquireNext(std::shared_ptr<Job> job);
-  void ApplyCurrent(std::shared_ptr<Job> job);
-  void HandleDeadlock(std::shared_ptr<Job> job);
-  void FinishJob(std::shared_ptr<Job> job);
+  void AcquireNext(Job* job);
+  void ApplyCurrent(Job* job);
+  void HandleDeadlock(Job* job);
+  void FinishJob(Job* job);
   void Emit(TraceEventType type, const Job& job, ObjectId oid,
             std::string detail = "");
   obs::MetricsRegistry::Counter& ShardAppliedCounter(ShardId shard);
@@ -135,6 +145,10 @@ class ReplicaApplier {
   std::vector<obs::MetricsRegistry::Counter> shard_applied_;
   TraceSink* trace_ = nullptr;
   std::size_t active_ = 0;
+  /// Recycled job slots (unique_ptr for address stability) + free list.
+  std::vector<std::unique_ptr<Job>> job_pool_;
+  std::vector<std::uint32_t> free_jobs_;
+  std::uint64_t next_serial_ = 1;
 };
 
 }  // namespace tdr

@@ -38,10 +38,12 @@ Status ObjectStore::ApplyIfTimestampMatches(ObjectId oid, const Value& value,
     // old timestamp seen by the root transaction, then the update may be
     // dangerous. ... the node rejects the incoming transaction and
     // submits it for reconciliation." (§4)
-    return Status::Conflict(StrPrintf(
-        "object %llu: local ts %s != update's old ts %s",
-        (unsigned long long)oid, obj.ts.ToString().c_str(),
-        expected_old_ts.ToString().c_str()));
+    //
+    // This is the lazy-group hot path at every reconciliation — Eq. (14)
+    // makes these frequent by design — so the message must fit the
+    // small-string buffer: no formatting, no heap. The caller knows the
+    // oid and both timestamps if it wants a detailed trace record.
+    return Status::Conflict("ts mismatch");
   }
   obj.value = value;
   obj.ts = new_ts;

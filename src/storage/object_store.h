@@ -1,6 +1,7 @@
 #ifndef TDR_STORAGE_OBJECT_STORE_H_
 #define TDR_STORAGE_OBJECT_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -47,9 +48,15 @@ class ObjectStore {
   Result<std::reference_wrapper<const StoredObject>> Get(ObjectId oid) const;
 
   /// Mutable access for the concurrency-control layer, which has already
-  /// validated the id and holds the object's lock.
-  StoredObject& GetMutable(ObjectId oid) { return objects_[oid]; }
+  /// validated the id and holds the object's lock. Range violations are
+  /// a caller bug, caught in debug builds only — release builds keep the
+  /// branch-free read the executor's hot path relies on.
+  StoredObject& GetMutable(ObjectId oid) {
+    assert(oid < objects_.size());
+    return objects_[oid];
+  }
   const StoredObject& GetUnchecked(ObjectId oid) const {
+    assert(oid < objects_.size());
     return objects_[oid];
   }
 

@@ -1,5 +1,6 @@
 #include "txn/executor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -53,24 +54,137 @@ void Executor::Emit(TraceEventType type, const Inflight* t, NodeId node,
   trace_->OnEvent(event);
 }
 
+Executor::Inflight* Executor::AcquireInflight() {
+  std::uint32_t idx;
+  if (!free_inflight_.empty()) {
+    idx = free_inflight_.back();
+    free_inflight_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::make_unique<Inflight>());
+    pool_[idx]->pool_index = idx;
+  }
+  return pool_[idx].get();
+}
+
+void Executor::RecycleInflight(Inflight* t) {
+  // Clear everything but keep every vector's capacity — that is the
+  // whole point of the pool. A recycled record keeps id=kInvalidTxnId
+  // until reused, so stale (this, t, id) captures fail their id check.
+  t->id = kInvalidTxnId;
+  t->steps.clear();
+  t->pc = 0;
+  t->opts.precommit = nullptr;  // release any captured closure now
+  t->opts.observer = nullptr;
+  t->done = nullptr;
+  t->buffer.clear();
+  t->observed_ts.clear();
+  t->touched_nodes.clear();
+  t->result.reads.clear();
+  t->result.updates.clear();
+  t->result.outcome = TxnOutcome::kDeadlock;
+  t->result.waits = 0;
+  t->result.wait_time = SimTime::Zero();
+  t->result.timed_out = false;
+  free_inflight_.push_back(t->pool_index);
+}
+
+Value* Executor::FindWrite(Inflight* t, NodeId node, ObjectId oid) {
+  auto it = std::lower_bound(
+      t->buffer.begin(), t->buffer.end(), std::make_pair(node, oid),
+      [](const WriteEntry& e, const std::pair<NodeId, ObjectId>& k) {
+        return e.node != k.first ? e.node < k.first : e.oid < k.second;
+      });
+  if (it != t->buffer.end() && it->node == node && it->oid == oid) {
+    return &it->value;
+  }
+  return nullptr;
+}
+
+void Executor::PutWrite(Inflight* t, NodeId node, ObjectId oid,
+                        Value value) {
+  auto it = std::lower_bound(
+      t->buffer.begin(), t->buffer.end(), std::make_pair(node, oid),
+      [](const WriteEntry& e, const std::pair<NodeId, ObjectId>& k) {
+        return e.node != k.first ? e.node < k.first : e.oid < k.second;
+      });
+  if (it != t->buffer.end() && it->node == node && it->oid == oid) {
+    it->value = std::move(value);
+    return;
+  }
+  t->buffer.insert(it, WriteEntry{node, oid, std::move(value)});
+}
+
+void Executor::ObserveTs(Inflight* t, NodeId node, ObjectId oid,
+                         const Timestamp& ts) {
+  auto it = std::lower_bound(
+      t->observed_ts.begin(), t->observed_ts.end(),
+      std::make_pair(node, oid),
+      [](const ObservedEntry& e, const std::pair<NodeId, ObjectId>& k) {
+        return e.node != k.first ? e.node < k.first : e.oid < k.second;
+      });
+  if (it != t->observed_ts.end() && it->node == node && it->oid == oid) {
+    return;  // first observation wins (the pre-txn timestamp)
+  }
+  t->observed_ts.insert(it, ObservedEntry{node, oid, ts});
+}
+
+const Timestamp* Executor::FindObserved(const Inflight* t, NodeId node,
+                                        ObjectId oid) const {
+  auto it = std::lower_bound(
+      t->observed_ts.begin(), t->observed_ts.end(),
+      std::make_pair(node, oid),
+      [](const ObservedEntry& e, const std::pair<NodeId, ObjectId>& k) {
+        return e.node != k.first ? e.node < k.first : e.oid < k.second;
+      });
+  if (it != t->observed_ts.end() && it->node == node && it->oid == oid) {
+    return &it->ts;
+  }
+  return nullptr;
+}
+
+void Executor::TouchNode(Inflight* t, NodeId node) {
+  auto it = std::lower_bound(t->touched_nodes.begin(),
+                             t->touched_nodes.end(), node);
+  if (it == t->touched_nodes.end() || *it != node) {
+    t->touched_nodes.insert(it, node);
+  }
+}
+
 TxnId Executor::Run(NodeId origin, std::vector<ExecStep> steps,
                     RunOptions opts, DoneCallback done) {
+  Inflight* t = AcquireInflight();
+  t->steps = std::move(steps);
+  return Start(origin, t, std::move(opts), std::move(done));
+}
+
+TxnId Executor::RunPlan(NodeId origin, RunOptions opts,
+                        DoneCallback done) {
+  Inflight* t = AcquireInflight();
+  // Swap, not move: the scratch vector inherits this record's retained
+  // capacity, so plan buffers circulate between the scratch and the
+  // pool without ever being freed.
+  t->steps.swap(plan_scratch_);
+  return Start(origin, t, std::move(opts), std::move(done));
+}
+
+TxnId Executor::Start(NodeId origin, Inflight* t, RunOptions opts,
+                      DoneCallback done) {
   TxnId id = next_txn_id_++;
-  auto t = std::make_unique<Inflight>();
   t->id = id;
   t->origin = origin;
-  t->steps = std::move(steps);
   t->opts = std::move(opts);
   t->done = std::move(done);
   t->result.id = id;
   t->result.origin = origin;
   t->result.start_time = sim_->Now();
-  Inflight* raw = t.get();
-  inflight_.emplace(id, std::move(t));
+  ++active_;
   m_started_.Increment();
-  Emit(TraceEventType::kTxnStart, raw, origin, 0,
-       StrPrintf("%zu steps", raw->steps.size()));
-  StepAcquire(raw);
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kTxnStart, t, origin, 0,
+         StrPrintf("%zu steps", t->steps.size()));
+  }
+  StepAcquire(t);
   return id;
 }
 
@@ -91,7 +205,7 @@ void Executor::StepAcquire(Inflight* t) {
     return;
   }
   const ExecStep& step = t->steps[t->pc];
-  t->touched_nodes.insert(step.node);
+  TouchNode(t, step.node);
   if (!step.op.IsWrite() && !t->opts.lock_reads) {
     // Committed-read: no lock.
     StepExecute(t);
@@ -100,22 +214,22 @@ void Executor::StepAcquire(Inflight* t) {
   Node* n = node(step.node);
   TxnId id = t->id;
   LockManager::AcquireOutcome outcome = n->locks().Acquire(
-      id, step.op.oid, [this, id]() {
-        // Grant callback: the transaction may have been aborted and
-        // erased in the meantime only if someone cancelled the request,
-        // which never happens while it is queued; still, look it up
-        // defensively.
-        auto it = inflight_.find(id);
-        if (it == inflight_.end()) return;
-        Inflight* t2 = it->second.get();
-        SimTime waited = sim_->Now() - t2->wait_started;
-        t2->result.wait_time += waited;
+      id, step.op.oid, [this, t, id]() {
+        // Grants for finished transactions cannot actually happen —
+        // queued requests are cancelled before abort — but check the id
+        // anyway: TxnIds are never reused, so a recycled record makes a
+        // stale grant a no-op.
+        if (t->id != id) return;
+        SimTime waited = sim_->Now() - t->wait_started;
+        t->result.wait_time += waited;
         wait_hist_.Add(static_cast<std::uint64_t>(waited.micros()));
         m_wait_micros_.Record(static_cast<std::uint64_t>(waited.micros()));
-        const ExecStep& granted = t2->steps[t2->pc];
-        Emit(TraceEventType::kLockGrant, t2, granted.node, granted.op.oid,
-             StrPrintf("after %s", waited.ToString().c_str()));
-        StepExecute(t2);
+        if (trace_ != nullptr) {
+          const ExecStep& granted = t->steps[t->pc];
+          Emit(TraceEventType::kLockGrant, t, granted.node, granted.op.oid,
+               StrPrintf("after %s", waited.ToString().c_str()));
+        }
+        StepExecute(t);
       });
   switch (outcome) {
     case LockManager::AcquireOutcome::kGranted:
@@ -130,19 +244,18 @@ void Executor::StepAcquire(Inflight* t) {
         NodeId wait_node = step.node;
         ObjectId wait_oid = step.op.oid;
         sim_->ScheduleAfter(
-            t->opts.wait_timeout, [this, id, wait_node, wait_oid]() {
-              auto it = inflight_.find(id);
-              if (it == inflight_.end()) return;  // already finished
-              Inflight* t2 = it->second.get();
+            t->opts.wait_timeout,
+            [this, t, id, wait_node, wait_oid]() {
+              if (t->id != id) return;  // already finished
               // Withdraw the request iff it is still queued; a false
               // return means the lock was granted in the meantime.
               if (!node(wait_node)->locks().CancelRequest(id, wait_oid)) {
                 return;
               }
-              t2->result.timed_out = true;
+              t->result.timed_out = true;
               ++wait_timeouts_;
               m_wait_timeouts_.Increment();
-              Abort(t2, TxnOutcome::kDeadlock);
+              Abort(t, TxnOutcome::kDeadlock);
             });
       }
       return;
@@ -161,17 +274,15 @@ void Executor::StepExecute(Inflight* t) {
                      ? SimTime::Zero()
                      : t->opts.action_time;
   TxnId id = t->id;
-  sim_->ScheduleAfter(cost, [this, id]() {
-    auto it = inflight_.find(id);
-    if (it == inflight_.end()) return;
-    ApplyStep(it->second.get());
+  sim_->ScheduleAfter(cost, [this, t, id]() {
+    if (t->id != id) return;
+    ApplyStep(t);
   });
 }
 
 void Executor::ApplyStep(Inflight* t) {
   const ExecStep& step = t->steps[t->pc];
   Node* n = node(step.node);
-  auto key = std::make_pair(step.node, step.op.oid);
   if (step.kind == StepKind::kLockOnly) {
     // Lock held; the kQuorumApply step installs the value later.
     ++t->pc;
@@ -182,25 +293,28 @@ void Executor::ApplyStep(Inflight* t) {
     ApplyQuorumStep(t);
     return;
   }
-  auto bit = t->buffer.find(key);
-  // Visible value: own buffered write, else last committed value.
-  Value visible = bit != t->buffer.end()
-                      ? bit->second
-                      : n->store().GetUnchecked(step.op.oid).value;
+  Value* buffered = FindWrite(t, step.node, step.op.oid);
   if (step.op.type == OpType::kRead) {
-    t->result.reads.push_back(std::move(visible));
+    // Visible value: own buffered write, else last committed value.
+    t->result.reads.push_back(
+        buffered != nullptr ? *buffered
+                            : n->store().GetUnchecked(step.op.oid).value);
+  } else if (buffered != nullptr) {
+    step.op.ApplyTo(buffered);
   } else {
-    if (t->observed_ts.find(key) == t->observed_ts.end()) {
-      // Remember the timestamp the transaction saw before its first
-      // write here — lazy replica updates carry it as their "old time"
-      // (Figure 4).
-      t->observed_ts[key] = n->store().GetUnchecked(step.op.oid).ts;
-    }
+    // Remember the timestamp the transaction saw before its first
+    // write here — lazy replica updates carry it as their "old time"
+    // (Figure 4).
+    const StoredObject& obj = n->store().GetUnchecked(step.op.oid);
+    ObserveTs(t, step.node, step.op.oid, obj.ts);
+    Value visible = obj.value;
     step.op.ApplyTo(&visible);
-    t->buffer[key] = std::move(visible);
+    PutWrite(t, step.node, step.op.oid, std::move(visible));
   }
-  Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
-       step.op.ToString());
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
+         step.op.ToString());
+  }
   ++t->pc;
   StepAcquire(t);
 }
@@ -210,8 +324,11 @@ void Executor::ApplyQuorumStep(Inflight* t) {
   // Members of this op's write set: every step sharing its op_index.
   // All of them are locked by now (the kLockOnly steps precede this
   // one), so their values are frozen: read the newest version, apply
-  // the op once, install the same value at every member.
-  std::vector<NodeId> members;
+  // the op once, install the same value at every member. The member
+  // list lives in executor scratch; it is fully consumed before
+  // StepAcquire can reenter this function.
+  std::vector<NodeId>& members = members_scratch_;
+  members.clear();
   for (const ExecStep& s : t->steps) {
     if (s.op_index == step.op_index) members.push_back(s.node);
   }
@@ -219,12 +336,10 @@ void Executor::ApplyQuorumStep(Inflight* t) {
   Timestamp best_ts;
   bool have_own = false;
   for (NodeId member : members) {
-    auto key = std::make_pair(member, step.op.oid);
-    auto bit = t->buffer.find(key);
-    if (bit != t->buffer.end()) {
+    if (const Value* buffered = FindWrite(t, member, step.op.oid)) {
       // Our own earlier (buffered) write is newer than anything
       // committed; prefer it.
-      best = bit->second;
+      best = *buffered;
       have_own = true;
       break;
     }
@@ -238,18 +353,21 @@ void Executor::ApplyQuorumStep(Inflight* t) {
   if (!have_own) {
     // Record the observed timestamp at the step's node for lazy
     // record-building symmetry.
-    auto self_key = std::make_pair(step.node, step.op.oid);
-    if (t->observed_ts.find(self_key) == t->observed_ts.end()) {
-      t->observed_ts[self_key] = best_ts;
-    }
+    ObserveTs(t, step.node, step.op.oid, best_ts);
   }
   step.op.ApplyTo(&best);
   for (NodeId member : members) {
-    t->buffer[std::make_pair(member, step.op.oid)] = best;
+    if (Value* slot = FindWrite(t, member, step.op.oid)) {
+      *slot = best;
+    } else {
+      PutWrite(t, member, step.op.oid, best);
+    }
   }
-  Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
-       StrPrintf("quorum %s -> %s", step.op.ToString().c_str(),
-                 best.ToString().c_str()));
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kOpApply, t, step.node, step.op.oid,
+         StrPrintf("quorum %s -> %s", step.op.ToString().c_str(),
+                   best.ToString().c_str()));
+  }
   ++t->pc;
   StepAcquire(t);
 }
@@ -257,18 +375,18 @@ void Executor::ApplyQuorumStep(Inflight* t) {
 void Executor::BuildUpdateRecords(Inflight* t, Timestamp commit_ts) {
   // One record per installed (node, object), rebuilt from scratch so the
   // precommit pass (placeholder timestamp) and the commit pass (real
-  // timestamp) agree.
+  // timestamp) agree. The buffer is sorted by (node, oid) — the same
+  // order the ordered map it replaced iterated in.
   t->result.updates.clear();
-  for (const auto& [key, value] : t->buffer) {
+  for (const WriteEntry& e : t->buffer) {
     UpdateRecord rec;
     rec.txn = t->id;
-    rec.oid = key.second;
-    auto oit = t->observed_ts.find(key);
-    rec.old_ts =
-        oit != t->observed_ts.end() ? oit->second : Timestamp::Zero();
+    rec.oid = e.oid;
+    const Timestamp* observed = FindObserved(t, e.node, e.oid);
+    rec.old_ts = observed != nullptr ? *observed : Timestamp::Zero();
     rec.new_ts = commit_ts;
-    rec.new_value = value;
-    rec.origin = key.first;
+    rec.new_value = e.value;
+    rec.origin = e.node;
     rec.commit_time = sim_->Now();
     t->result.updates.push_back(std::move(rec));
   }
@@ -288,10 +406,10 @@ void Executor::Commit(Inflight* t) {
   Timestamp commit_ts = origin_node->clock().Tick();
   t->result.commit_ts = commit_ts;
   // Install buffered writes everywhere they were produced.
-  for (const auto& [key, value] : t->buffer) {
-    Node* n = node(key.first);
+  for (const WriteEntry& e : t->buffer) {
+    Node* n = node(e.node);
     n->clock().Observe(commit_ts);
-    Status s = n->store().Put(key.second, value, commit_ts);
+    Status s = n->store().Put(e.oid, e.value, commit_ts);
     assert(s.ok());
     (void)s;
   }
@@ -304,8 +422,10 @@ void Executor::Commit(Inflight* t) {
   t->result.end_time = sim_->Now();
   ++committed_;
   m_committed_.Increment();
-  Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
-       StrPrintf("ts=%s", commit_ts.ToString().c_str()));
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
+         StrPrintf("ts=%s", commit_ts.ToString().c_str()));
+  }
   Finish(t);
 }
 
@@ -322,29 +442,39 @@ void Executor::Abort(Inflight* t, TxnOutcome outcome) {
     ++rejected_;
     m_rejected_.Increment();
   }
-  Emit(TraceEventType::kTxnAbort, t, t->origin, 0,
-       std::string(TxnOutcomeToString(outcome)));
+  if (trace_ != nullptr) {
+    Emit(TraceEventType::kTxnAbort, t, t->origin, 0,
+         std::string(TxnOutcomeToString(outcome)));
+  }
   Finish(t);
 }
 
 void Executor::Finish(Inflight* t) {
-  // Move the node out of the map before invoking the callback: the
-  // callback commonly starts new transactions (retry loops) and must not
-  // invalidate `t` mid-flight.
-  auto it = inflight_.find(t->id);
-  assert(it != inflight_.end());
-  std::unique_ptr<Inflight> owned = std::move(it->second);
-  inflight_.erase(it);
-  if (owned->done) owned->done(owned->result);
+  --active_;
+  // The observer and done callback commonly start new transactions
+  // (retry loops, lazy propagation); the record is recycled only after
+  // both return, so `t->result` stays valid throughout and any
+  // transaction they start draws a different pool slot.
+  if (t->opts.observer != nullptr) t->opts.observer->OnTxnDone(t->result);
+  if (t->done) {
+    DoneCallback done = std::move(t->done);
+    done(t->result);
+  }
+  RecycleInflight(t);
 }
 
 std::vector<ExecStep> LocalPlan(NodeId node, const Program& program) {
   std::vector<ExecStep> steps;
   steps.reserve(program.size());
-  for (const Op& op : program.ops()) {
-    steps.push_back(ExecStep{node, op});
-  }
+  LocalPlanInto(node, program, &steps);
   return steps;
+}
+
+void LocalPlanInto(NodeId node, const Program& program,
+                   std::vector<ExecStep>* out) {
+  for (const Op& op : program.ops()) {
+    out->push_back(ExecStep{node, op});
+  }
 }
 
 }  // namespace tdr

@@ -3,9 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -92,6 +90,18 @@ struct TxnResult {
   SimTime Duration() const { return end_time - start_time; }
 };
 
+/// Per-transaction completion hook carried by RunOptions as a plain
+/// pointer. Replication schemes implement it to observe every outcome
+/// (propagate on commit, count aborts) WITHOUT wrapping the caller's
+/// done callback in a scheme lambda — the wrapper was a nested closure
+/// too fat for any small-buffer store, i.e. one heap allocation per
+/// transaction. Runs before the done callback.
+class TxnObserver {
+ public:
+  virtual ~TxnObserver() = default;
+  virtual void OnTxnDone(const TxnResult& result) = 0;
+};
+
 /// Event-driven transaction executor shared by every replication scheme.
 ///
 /// Concurrency-control model (deliberately the paper's, §2/§3):
@@ -108,6 +118,17 @@ struct TxnResult {
 /// Writes are buffered per (node, object) and installed atomically at
 /// commit with the commit timestamp, so aborts need no undo and other
 /// transactions never see uncommitted data.
+///
+/// Allocation model: transactions run in pooled Inflight records
+/// (stable addresses, recycled through a free list) whose vectors —
+/// steps, write buffer, observed timestamps, reads, update records —
+/// keep their capacity across reuse. Write/timestamp buffers are flat
+/// vectors sorted by (node, object), preserving the ordered-map
+/// iteration order update-record determinism depends on. Scheduled
+/// continuations capture (this, inflight*, txn id) and validate the id
+/// (TxnIds are never reused), so there is no per-transaction lookup
+/// structure at all. Scalar-valued workloads submitted through
+/// NewPlan()/RunPlan() allocate nothing in steady state.
 class Executor {
  public:
   using DoneCallback = std::function<void(const TxnResult&)>;
@@ -119,6 +140,8 @@ class Executor {
   struct RunOptions {
     SimTime action_time = SimTime::Millis(10);
     PrecommitHook precommit;        // optional
+    /// Completion hook (not owned; may be null). See TxnObserver.
+    TxnObserver* observer = nullptr;
     bool record_updates = true;     // build UpdateRecords at commit
     /// Charge action_time for read steps too (default true: the model's
     /// Actions are all the same length).
@@ -151,8 +174,18 @@ class Executor {
   TxnId Run(NodeId origin, std::vector<ExecStep> steps, RunOptions opts,
             DoneCallback done);
 
+  /// Allocation-free submission: NewPlan() hands out a cleared scratch
+  /// plan (capacity retained run to run); fill it, then RunPlan() swaps
+  /// it into a pooled transaction. Do not hold the reference across
+  /// RunPlan() or interleave two NewPlan() builds.
+  std::vector<ExecStep>& NewPlan() {
+    plan_scratch_.clear();
+    return plan_scratch_;
+  }
+  TxnId RunPlan(NodeId origin, RunOptions opts, DoneCallback done);
+
   /// Transactions currently executing or waiting.
-  std::size_t ActiveCount() const { return inflight_.size(); }
+  std::size_t ActiveCount() const { return active_; }
 
   /// Draws a transaction id from the executor's pool. Replica-update
   /// appliers that drive LockManagers directly must share this id space
@@ -174,25 +207,49 @@ class Executor {
   const Histogram& wait_histogram() const { return wait_hist_; }
 
  private:
+  /// Buffered write: final value per (node, object), flat-sorted.
+  struct WriteEntry {
+    NodeId node;
+    ObjectId oid;
+    Value value;
+  };
+  /// Timestamp each written (node, object) had before this txn's first
+  /// write there — the "old time" carried by lazy replica updates
+  /// (Figure 4). Flat-sorted like WriteEntry.
+  struct ObservedEntry {
+    NodeId node;
+    ObjectId oid;
+    Timestamp ts;
+  };
+
   struct Inflight {
     TxnId id = kInvalidTxnId;
+    std::uint32_t pool_index = 0;
     NodeId origin = 0;
     std::vector<ExecStep> steps;
     std::size_t pc = 0;
     RunOptions opts;
     DoneCallback done;
-    // Buffered writes: final value per (node, object).
-    std::map<std::pair<NodeId, ObjectId>, Value> buffer;
-    // Timestamp each written (node, object) had before this txn's first
-    // write there — the "old time" carried by lazy replica updates
-    // (Figure 4).
-    std::map<std::pair<NodeId, ObjectId>, Timestamp> observed_ts;
-    std::set<NodeId> touched_nodes;
+    std::vector<WriteEntry> buffer;        // sorted by (node, oid)
+    std::vector<ObservedEntry> observed_ts;  // sorted by (node, oid)
+    std::vector<NodeId> touched_nodes;     // sorted
     SimTime wait_started;
     TxnResult result;
   };
 
   Node* node(NodeId id) { return nodes_[id]; }
+
+  Inflight* AcquireInflight();
+  void RecycleInflight(Inflight* t);
+  TxnId Start(NodeId origin, Inflight* t, RunOptions opts,
+              DoneCallback done);
+  Value* FindWrite(Inflight* t, NodeId node, ObjectId oid);
+  void PutWrite(Inflight* t, NodeId node, ObjectId oid, Value value);
+  void ObserveTs(Inflight* t, NodeId node, ObjectId oid,
+                 const Timestamp& ts);
+  const Timestamp* FindObserved(const Inflight* t, NodeId node,
+                                ObjectId oid) const;
+  void TouchNode(Inflight* t, NodeId node);
 
   void StepAcquire(Inflight* t);
   void StepExecute(Inflight* t);
@@ -219,7 +276,13 @@ class Executor {
   obs::MetricsRegistry::HistogramHandle m_wait_micros_;
   obs::MetricsRegistry::StatsHandle m_profile_acquire_;
   TraceSink* trace_ = nullptr;
-  std::map<TxnId, std::unique_ptr<Inflight>> inflight_;
+  // Inflight pool: stable addresses (unique_ptr slots), recycled
+  // through a free list; vectors inside keep capacity across reuse.
+  std::vector<std::unique_ptr<Inflight>> pool_;
+  std::vector<std::uint32_t> free_inflight_;
+  std::size_t active_ = 0;
+  std::vector<ExecStep> plan_scratch_;
+  std::vector<NodeId> members_scratch_;  // quorum write-set members
   TxnId next_txn_id_ = 1;
   std::uint64_t committed_ = 0;
   std::uint64_t deadlocked_ = 0;
@@ -232,6 +295,11 @@ class Executor {
 /// Used by lazy schemes (root transaction is local) and by single-node
 /// baselines.
 std::vector<ExecStep> LocalPlan(NodeId node, const Program& program);
+
+/// Appends the same plan to `*out` without allocating (capacity
+/// permitting) — the NewPlan()/RunPlan() variant.
+void LocalPlanInto(NodeId node, const Program& program,
+                   std::vector<ExecStep>* out);
 
 }  // namespace tdr
 

@@ -2,15 +2,13 @@
 #define TDR_TXN_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.h"
 #include "storage/shard_map.h"
 #include "storage/types.h"
 #include "txn/wait_for_graph.h"
+#include "util/flat_map.h"
 
 namespace tdr {
 
@@ -27,6 +25,19 @@ namespace tdr {
 /// (queued) lock request across the whole cluster at a time — our
 /// transactions execute actions sequentially, which guarantees this.
 /// The wait-for bookkeeping relies on it.
+///
+/// Representation: object ids are dense by construction (ObjectStore
+/// is 0..db_size), so the lock table is one flat slot per object —
+/// holder plus an intrusive FIFO of pooled waiters (SBO grant
+/// callbacks, sim/callback.h) — instead of the ordered maps it
+/// replaced. Semantics are bit-for-bit identical: grant order is the
+/// queue's FIFO order, wait-for edges are installed/removed at exactly
+/// the same points, and the reverse (txn -> held objects) index keeps
+/// insertion order so ReleaseAll releases in acquisition order.
+/// Steady state allocates nothing: waiter slots and held-entry vectors
+/// recycle through free lists, and the reverse index is a
+/// backward-shift-deleting flat map that never rehashes once the
+/// workload's concurrency high-water is reached.
 class LockManager {
  public:
   enum class AcquireOutcome {
@@ -35,29 +46,29 @@ class LockManager {
     kDeadlock,  // queuing would close a wait-for cycle; request dropped
   };
 
-  using GrantCallback = std::function<void()>;
+  using GrantCallback = sim::Callback;
 
-  /// `graph` is shared across all lock managers of a cluster and must
-  /// outlive them. With `detect_cycles` false the wait-for graph is
-  /// still maintained (for diagnostics) but requests that close a cycle
-  /// simply QUEUE — deadlock resolution is then someone else's job
-  /// (e.g. the executor's wait timeouts). That is the production
-  /// timeout-based alternative the ablation bench compares against.
+  /// `db_size` bounds the object ids this manager may see (the flat
+  /// table has one slot per object). `graph` is shared across all lock
+  /// managers of a cluster and must outlive them. With `detect_cycles`
+  /// false the wait-for graph is still maintained (for diagnostics) but
+  /// requests that close a cycle simply QUEUE — deadlock resolution is
+  /// then someone else's job (e.g. the executor's wait timeouts). That
+  /// is the production timeout-based alternative the ablation bench
+  /// compares against.
   ///
   /// `shards` (may be null = one shard, must otherwise outlive the
-  /// manager) splits the lock table into one ordered map per shard.
-  /// Lock semantics are identical at any shard count — sharding only
-  /// shrinks the per-structure footprint, so lookups on a loaded node
-  /// search a table S times smaller. Per-shard wait counters feed the
-  /// hot-shard diagnostics.
-  LockManager(NodeId node, WaitForGraph* graph, bool detect_cycles = true,
-              const ShardMap* shards = nullptr)
+  /// manager) no longer changes the table layout — the flat table is
+  /// already O(1) per object — but still labels each wait with its
+  /// shard for the hot-shard diagnostics.
+  LockManager(NodeId node, std::uint64_t db_size, WaitForGraph* graph,
+              bool detect_cycles = true, const ShardMap* shards = nullptr)
       : node_(node),
         graph_(graph),
         detect_cycles_(detect_cycles),
         shards_(shards),
-        tables_(shards != nullptr ? shards->num_shards() : 1),
-        shard_waits_(tables_.size(), 0) {}
+        slots_(db_size),
+        shard_waits_(shards != nullptr ? shards->num_shards() : 1, 0) {}
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -74,7 +85,8 @@ class LockManager {
   /// is ignored (counted in `bad_releases()` for tests to assert on).
   void Release(TxnId txn, ObjectId oid);
 
-  /// Releases every lock `txn` holds at this node (commit/abort path).
+  /// Releases every lock `txn` holds at this node (commit/abort path),
+  /// in acquisition order.
   void ReleaseAll(TxnId txn);
 
   /// Withdraws a queued request (the waiter aborted for another reason).
@@ -87,61 +99,74 @@ class LockManager {
   std::size_t HeldCount(TxnId txn) const;
 
   /// Number of objects currently locked at this node.
-  std::size_t LockedObjectCount() const;
+  std::size_t LockedObjectCount() const { return locked_objects_; }
 
   /// Number of transactions queued (waiting) at this node.
-  std::size_t WaiterCount() const;
+  std::size_t WaiterCount() const { return waiter_count_; }
 
   std::uint64_t total_waits() const { return total_waits_; }
   std::uint64_t total_deadlocks() const { return total_deadlocks_; }
   std::uint64_t bad_releases() const { return bad_releases_; }
 
-  /// Lock waits that queued on `shard`'s table (0 for out-of-range
+  /// Lock waits that queued on objects of `shard` (0 for out-of-range
   /// shards) — the hot-shard contention signal.
   std::uint64_t shard_waits(ShardId shard) const {
     return shard < shard_waits_.size() ? shard_waits_[shard] : 0;
   }
   std::uint32_t num_shards() const {
-    return static_cast<std::uint32_t>(tables_.size());
+    return static_cast<std::uint32_t>(shard_waits_.size());
   }
 
   NodeId node() const { return node_; }
+  std::uint64_t db_size() const { return slots_.size(); }
 
  private:
-  struct Waiter {
-    TxnId txn;
-    GrantCallback on_grant;
-  };
-  struct LockState {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Flat per-object lock slot; q_head/q_tail index the waiter pool.
+  struct Slot {
     TxnId holder = kInvalidTxnId;
-    std::deque<Waiter> queue;
+    std::uint32_t q_head = kNil;
+    std::uint32_t q_tail = kNil;
   };
 
-  /// Installs wait-for edges for a newly queued waiter: edge to the
-  /// holder and to each earlier waiter (FIFO queues mean you wait behind
-  /// them too).
-  void AddWaitEdges(const LockState& state, TxnId waiter) const;
+  /// Pooled wait-queue node (free-listed through `next`).
+  struct Waiter {
+    TxnId txn = kInvalidTxnId;
+    sim::Callback on_grant;
+    std::uint32_t next = kNil;
+  };
 
   ShardId ShardOf(ObjectId oid) const {
     return shards_ != nullptr ? shards_->ShardOf(oid) : 0;
   }
-  std::map<ObjectId, LockState>& TableOf(ObjectId oid) {
-    return tables_[ShardOf(oid)];
-  }
-  const std::map<ObjectId, LockState>& TableOf(ObjectId oid) const {
-    return tables_[ShardOf(oid)];
-  }
+
+  std::uint32_t AcquireWaiter(TxnId txn, sim::Callback on_grant);
+  void RecycleWaiter(std::uint32_t idx);
+  std::uint32_t AcquireHeldEntry();
+  void RecycleHeldEntry(std::uint32_t idx);
+  void HeldPush(TxnId txn, ObjectId oid);
+  void HeldErase(TxnId txn, ObjectId oid);
+  /// Release with optional reverse-index maintenance (ReleaseAll
+  /// detaches the whole entry up front and skips per-oid erases).
+  void ReleaseLocked(TxnId txn, ObjectId oid, bool update_held);
 
   NodeId node_;
   WaitForGraph* graph_;
   bool detect_cycles_;
   const ShardMap* shards_;
-  // Per-shard lock tables holding only objects locked or queued. One
-  // table when unsharded.
-  std::vector<std::map<ObjectId, LockState>> tables_;
+  std::vector<Slot> slots_;  // one per object id
   std::vector<std::uint64_t> shard_waits_;
-  // Reverse index: locks held per txn, for ReleaseAll.
-  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
+  // Waiter pool, free-listed through Waiter::next.
+  std::vector<Waiter> waiters_;
+  std::uint32_t free_waiter_ = kNil;
+  // Reverse index: txn -> pooled vector of held object ids (insertion
+  // = acquisition order, preserved by HeldErase).
+  FlatMap64<std::uint32_t> held_index_;
+  std::vector<std::vector<ObjectId>> held_entries_;
+  std::vector<std::uint32_t> held_free_;
+  std::size_t locked_objects_ = 0;
+  std::size_t waiter_count_ = 0;
   std::uint64_t total_waits_ = 0;
   std::uint64_t total_deadlocks_ = 0;
   std::uint64_t bad_releases_ = 0;

@@ -24,7 +24,7 @@ class Node {
        bool detect_deadlock_cycles = true, const ShardMap* shards = nullptr)
       : id_(id),
         store_(db_size),
-        locks_(id, graph, detect_deadlock_cycles, shards),
+        locks_(id, db_size, graph, detect_deadlock_cycles, shards),
         clock_(id) {}
 
   Node(const Node&) = delete;

@@ -29,6 +29,10 @@ class Program {
     return *this;
   }
 
+  /// Empties the program, retaining capacity (scratch-program reuse in
+  /// the workload hot path).
+  void Clear() { ops_.clear(); }
+
   /// Distinct objects the program touches, ascending — the transaction's
   /// *scope* in the §7 sense. The scope rule check in the two-tier core
   /// walks this list.

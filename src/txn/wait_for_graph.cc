@@ -3,121 +3,190 @@
 #include <algorithm>
 
 namespace tdr {
+namespace {
+
+/// Inserts `x` into sorted `v` if absent; true if inserted.
+bool SortedInsert(std::vector<TxnId>& v, TxnId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Erases `x` from sorted `v`; true if it was present.
+bool SortedErase(std::vector<TxnId>& v, TxnId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+bool SortedContains(const std::vector<TxnId>& v, TxnId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+std::uint32_t WaitForGraph::EnsureNode(TxnId txn) {
+  if (const std::uint32_t* idx = index_.Find(txn)) return *idx;
+  std::uint32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    // Uniform birth capacity: recycled entries come off the free list in
+    // arbitrary order, so a shared floor keeps a deep wait queue from
+    // re-growing whichever entry it happens to draw. 32 covers the FIFO
+    // fan-out (edge to the holder plus every earlier waiter).
+    nodes_.back().out.reserve(32);
+    nodes_.back().in.reserve(32);
+  }
+  index_.Insert(txn, idx);
+  return idx;
+}
+
+void WaitForGraph::MaybeRecycle(TxnId txn, std::uint32_t idx) {
+  NodeEntry& e = nodes_[idx];
+  if (!e.out.empty() || !e.in.empty()) return;
+  index_.Erase(txn);
+  free_nodes_.push_back(idx);  // clear() already implied: both lists empty
+}
 
 void WaitForGraph::AddEdge(TxnId waiter, TxnId holder) {
   if (waiter == holder) return;  // self-waits are meaningless here
-  out_[waiter].insert(holder);
-  in_[holder].insert(waiter);
+  std::uint32_t wi = EnsureNode(waiter);
+  std::uint32_t hi = EnsureNode(holder);  // may grow nodes_: index first
+  if (SortedInsert(nodes_[wi].out, holder)) {
+    SortedInsert(nodes_[hi].in, waiter);
+    ++edges_;
+  }
 }
 
 void WaitForGraph::RemoveEdge(TxnId waiter, TxnId holder) {
-  auto oit = out_.find(waiter);
-  if (oit != out_.end()) {
-    oit->second.erase(holder);
-    if (oit->second.empty()) out_.erase(oit);
+  if (const std::uint32_t* wi = index_.Find(waiter)) {
+    std::uint32_t idx = *wi;
+    if (SortedErase(nodes_[idx].out, holder)) --edges_;
+    MaybeRecycle(waiter, idx);
   }
-  auto iit = in_.find(holder);
-  if (iit != in_.end()) {
-    iit->second.erase(waiter);
-    if (iit->second.empty()) in_.erase(iit);
+  if (const std::uint32_t* hi = index_.Find(holder)) {
+    std::uint32_t idx = *hi;
+    SortedErase(nodes_[idx].in, waiter);
+    MaybeRecycle(holder, idx);
   }
 }
 
 void WaitForGraph::RemoveTxn(TxnId txn) {
-  auto oit = out_.find(txn);
-  if (oit != out_.end()) {
-    for (TxnId holder : oit->second) {
-      auto iit = in_.find(holder);
-      if (iit != in_.end()) {
-        iit->second.erase(txn);
-        if (iit->second.empty()) in_.erase(iit);
-      }
+  const std::uint32_t* pidx = index_.Find(txn);
+  if (pidx == nullptr) return;
+  std::uint32_t idx = *pidx;
+  NodeEntry& e = nodes_[idx];
+  for (TxnId holder : e.out) {
+    if (const std::uint32_t* hi = index_.Find(holder)) {
+      std::uint32_t h = *hi;
+      SortedErase(nodes_[h].in, txn);
+      MaybeRecycle(holder, h);
     }
-    out_.erase(oit);
   }
-  auto iit = in_.find(txn);
-  if (iit != in_.end()) {
-    for (TxnId waiter : iit->second) {
-      auto o2 = out_.find(waiter);
-      if (o2 != out_.end()) {
-        o2->second.erase(txn);
-        if (o2->second.empty()) out_.erase(o2);
-      }
+  edges_ -= e.out.size();
+  e.out.clear();
+  for (TxnId waiter : e.in) {
+    if (const std::uint32_t* wi = index_.Find(waiter)) {
+      std::uint32_t w = *wi;
+      if (SortedErase(nodes_[w].out, txn)) --edges_;
+      MaybeRecycle(waiter, w);
     }
-    in_.erase(iit);
   }
+  e.in.clear();
+  MaybeRecycle(txn, idx);
 }
 
 void WaitForGraph::ClearOutEdges(TxnId waiter) {
-  auto oit = out_.find(waiter);
-  if (oit == out_.end()) return;
-  for (TxnId holder : oit->second) {
-    auto iit = in_.find(holder);
-    if (iit != in_.end()) {
-      iit->second.erase(waiter);
-      if (iit->second.empty()) in_.erase(iit);
+  const std::uint32_t* pidx = index_.Find(waiter);
+  if (pidx == nullptr) return;
+  std::uint32_t idx = *pidx;
+  NodeEntry& e = nodes_[idx];
+  for (TxnId holder : e.out) {
+    if (const std::uint32_t* hi = index_.Find(holder)) {
+      std::uint32_t h = *hi;
+      SortedErase(nodes_[h].in, waiter);
+      MaybeRecycle(holder, h);
     }
   }
-  out_.erase(oit);
+  edges_ -= e.out.size();
+  e.out.clear();
+  MaybeRecycle(waiter, idx);
 }
 
 bool WaitForGraph::HasCycleFrom(TxnId start) const {
-  return !FindCycleFrom(start).empty();
+  const std::uint32_t* si = index_.Find(start);
+  if (si == nullptr) return false;
+  visited_.Clear();
+  dfs_stack_.clear();
+  visited_.Insert(start, 1);
+  dfs_stack_.push_back(Frame{*si, 0});
+  while (!dfs_stack_.empty()) {
+    Frame& top = dfs_stack_.back();
+    const std::vector<TxnId>& out = nodes_[top.node].out;
+    if (top.next < out.size()) {
+      TxnId next = out[top.next++];
+      if (next == start) return true;
+      if (visited_.Find(next) == nullptr) {
+        visited_.Insert(next, 1);
+        if (const std::uint32_t* ni = index_.Find(next)) {
+          dfs_stack_.push_back(Frame{*ni, 0});
+        }
+      }
+    } else {
+      dfs_stack_.pop_back();
+    }
+  }
+  return false;
 }
 
 std::vector<TxnId> WaitForGraph::FindCycleFrom(TxnId start) const {
   // Iterative DFS recording the path; a return to `start` is a cycle.
+  // Same ascending successor order as HasCycleFrom, so the reported
+  // cycle is the one whose existence that check proved.
   std::vector<TxnId> path;
-  std::set<TxnId> visited;
-  // Stack of (node, next-edge iterator position expressed as index).
-  struct Frame {
-    TxnId node;
-    std::vector<TxnId> succ;
-    std::size_t next = 0;
-  };
-  std::vector<Frame> stack;
-  auto successors = [this](TxnId t) -> std::vector<TxnId> {
-    auto it = out_.find(t);
-    if (it == out_.end()) return {};
-    return {it->second.begin(), it->second.end()};
-  };
-  stack.push_back({start, successors(start), 0});
-  visited.insert(start);
+  const std::uint32_t* si = index_.Find(start);
+  if (si == nullptr) return path;
+  visited_.Clear();
+  dfs_stack_.clear();
+  visited_.Insert(start, 1);
+  dfs_stack_.push_back(Frame{*si, 0});
   path.push_back(start);
-  while (!stack.empty()) {
-    Frame& top = stack.back();
-    if (top.next < top.succ.size()) {
-      TxnId next = top.succ[top.next++];
-      if (next == start) {
-        return path;  // cycle closed
-      }
-      if (visited.insert(next).second) {
-        stack.push_back({next, successors(next), 0});
-        path.push_back(next);
+  while (!dfs_stack_.empty()) {
+    Frame& top = dfs_stack_.back();
+    const std::vector<TxnId>& out = nodes_[top.node].out;
+    if (top.next < out.size()) {
+      TxnId next = out[top.next++];
+      if (next == start) return path;  // cycle closed
+      if (visited_.Find(next) == nullptr) {
+        visited_.Insert(next, 1);
+        if (const std::uint32_t* ni = index_.Find(next)) {
+          dfs_stack_.push_back(Frame{*ni, 0});
+          path.push_back(next);
+        }
       }
     } else {
-      stack.pop_back();
+      dfs_stack_.pop_back();
       path.pop_back();
     }
   }
   return {};
 }
 
-std::size_t WaitForGraph::EdgeCount() const {
-  std::size_t n = 0;
-  for (const auto& [waiter, holders] : out_) n += holders.size();
-  return n;
-}
-
 bool WaitForGraph::HasEdge(TxnId waiter, TxnId holder) const {
-  auto it = out_.find(waiter);
-  return it != out_.end() && it->second.count(holder) > 0;
+  const std::uint32_t* wi = index_.Find(waiter);
+  return wi != nullptr && SortedContains(nodes_[*wi].out, holder);
 }
 
 std::vector<TxnId> WaitForGraph::OutEdges(TxnId waiter) const {
-  auto it = out_.find(waiter);
-  if (it == out_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const std::uint32_t* wi = index_.Find(waiter);
+  if (wi == nullptr) return {};
+  return nodes_[*wi].out;
 }
 
 }  // namespace tdr

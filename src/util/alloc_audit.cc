@@ -1,0 +1,13 @@
+#include "util/alloc_audit.h"
+
+namespace tdr::alloc_internal {
+
+// Defined here (tdr_util, always linked) so any TU can read the
+// counters; only the hook TU in tdr_alloc_audit ever bumps them.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::int64_t> g_trace_budget{0};
+std::atomic<bool> g_hooks_linked{false};
+
+}  // namespace tdr::alloc_internal

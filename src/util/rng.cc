@@ -89,21 +89,33 @@ std::uint64_t Rng::Poisson(double mean) {
 
 std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
                                                          std::uint64_t k) {
-  assert(k <= n);
-  // Floyd's algorithm: k iterations, O(k) expected set operations.
-  std::unordered_set<std::uint64_t> chosen;
   std::vector<std::uint64_t> out;
   out.reserve(k);
+  SampleWithoutReplacementInto(n, k, &out);
+  return out;
+}
+
+void Rng::SampleWithoutReplacementInto(std::uint64_t n, std::uint64_t k,
+                                       std::vector<std::uint64_t>* out) {
+  assert(k <= n);
+  out->clear();
+  // Floyd's algorithm: k iterations. Membership tests scan the (small)
+  // output vector directly — k is a transaction's action count, so the
+  // scan beats a hash set and keeps the call allocation-free once the
+  // caller's scratch vector has grown to k. Draw-for-draw identical to
+  // the set-based version: one UniformInt per iteration, same
+  // replacement rule on duplicates.
   for (std::uint64_t j = n - k; j < n; ++j) {
     std::uint64_t t = UniformInt(j + 1);
-    if (chosen.insert(t).second) {
-      out.push_back(t);
-    } else {
-      chosen.insert(j);
-      out.push_back(j);
+    bool duplicate = false;
+    for (std::uint64_t c : *out) {
+      if (c == t) {
+        duplicate = true;
+        break;
+      }
     }
+    out->push_back(duplicate ? j : t);
   }
-  return out;
 }
 
 Rng Rng::Fork() { return Rng(Next64(), Next64() | 1); }

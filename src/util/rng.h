@@ -54,6 +54,11 @@ class Rng {
   std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
                                                       std::uint64_t k);
 
+  /// Allocation-free form: fills `*out` (cleared first, capacity
+  /// retained) with the same draws the vector-returning overload makes.
+  void SampleWithoutReplacementInto(std::uint64_t n, std::uint64_t k,
+                                    std::vector<std::uint64_t>* out);
+
   /// Returns a new generator carved from this one — convenient for
   /// handing each simulated node its own stream.
   Rng Fork();

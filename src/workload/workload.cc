@@ -64,24 +64,30 @@ ObjectId ProgramGenerator::PickObject(Rng& rng) {
 
 Program ProgramGenerator::Next(Rng& rng) {
   Program prog;
+  NextInto(rng, &prog);
+  return prog;
+}
+
+void ProgramGenerator::NextInto(Rng& rng, Program* out) {
+  out->Clear();
   if (options_.distinct_objects && zipf_ == nullptr && hot_span_ == 0) {
     // Uniform + distinct: sample without replacement.
-    std::vector<std::uint64_t> oids =
-        rng.SampleWithoutReplacement(options_.db_size, options_.actions);
-    for (std::uint64_t oid : oids) {
+    rng.SampleWithoutReplacementInto(options_.db_size, options_.actions,
+                                     &sample_scratch_);
+    for (std::uint64_t oid : sample_scratch_) {
       std::int64_t operand =
           rng.UniformRange(options_.operand_lo, options_.operand_hi);
-      prog.Add(Op{PickType(rng), oid, operand});
+      out->Add(Op{PickType(rng), oid, operand});
     }
-    return prog;
+    return;
   }
   // Zipfian (or repeats allowed): rejection-sample distinctness.
-  std::vector<ObjectId> chosen;
+  chosen_scratch_.clear();
   for (std::uint32_t i = 0; i < options_.actions; ++i) {
     ObjectId oid = PickObject(rng);
     if (options_.distinct_objects) {
       bool dup = false;
-      for (ObjectId c : chosen) {
+      for (ObjectId c : chosen_scratch_) {
         if (c == oid) {
           dup = true;
           break;
@@ -91,13 +97,12 @@ Program ProgramGenerator::Next(Rng& rng) {
         --i;
         continue;
       }
-      chosen.push_back(oid);
+      chosen_scratch_.push_back(oid);
     }
     std::int64_t operand =
         rng.UniformRange(options_.operand_lo, options_.operand_hi);
-    prog.Add(Op{PickType(rng), oid, operand});
+    out->Add(Op{PickType(rng), oid, operand});
   }
-  return prog;
 }
 
 OpenLoopArrivals::OpenLoopArrivals(sim::Simulator* sim, Options options,

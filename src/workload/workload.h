@@ -70,6 +70,11 @@ class ProgramGenerator {
   /// Generates the next random program using `rng`.
   Program Next(Rng& rng);
 
+  /// Allocation-free form: regenerates `*out` in place (cleared first,
+  /// capacity retained) with the same draws Next() makes. The hot-path
+  /// submission loop reuses one scratch Program this way.
+  void NextInto(Rng& rng, Program* out);
+
   const Options& options() const { return options_; }
 
  private:
@@ -81,6 +86,9 @@ class ProgramGenerator {
   std::unique_ptr<ZipfianGenerator> zipf_;
   /// First object id past the hot shard range; 0 = shard skew off.
   std::uint64_t hot_span_ = 0;
+  // Per-call scratch (single-threaded generation).
+  std::vector<std::uint64_t> sample_scratch_;
+  std::vector<ObjectId> chosen_scratch_;
 };
 
 /// Open-loop transaction arrivals: each node "originates a fixed number

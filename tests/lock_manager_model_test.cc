@@ -44,7 +44,7 @@ class LockModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(LockModelTest, RandomSequencesAgreeWithReference) {
   Rng rng(GetParam());
   WaitForGraph graph;
-  LockManager real(0, &graph);
+  LockManager real(0, 4096, &graph);
   RefModel ref;
   std::map<TxnId, std::set<ObjectId>> granted;  // from grant callbacks
 

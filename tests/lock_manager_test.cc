@@ -10,7 +10,7 @@ namespace {
 class LockManagerTest : public ::testing::Test {
  protected:
   WaitForGraph graph_;
-  LockManager locks_{0, &graph_};
+  LockManager locks_{0, 4096, &graph_};
 };
 
 TEST_F(LockManagerTest, FreeLockGrantedImmediately) {
@@ -178,7 +178,7 @@ TEST_F(LockManagerTest, CrossNodeDeadlockViaSharedGraph) {
   // Two lock managers (two nodes) share the wait-for graph: T1 holds
   // object 1 at node A, T2 holds object 1 at node B; each then requests
   // the other's object — a distributed deadlock, detected globally.
-  LockManager node_b(1, &graph_);
+  LockManager node_b(1, 4096, &graph_);
   ASSERT_EQ(locks_.Acquire(1, 1, nullptr),
             LockManager::AcquireOutcome::kGranted);
   ASSERT_EQ(node_b.Acquire(2, 1, nullptr),

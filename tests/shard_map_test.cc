@@ -101,8 +101,8 @@ TEST(ShardedLockManagerTest, SemanticsIdenticalAcrossShardCounts) {
   // table and with per-shard tables.
   ShardMap shards(100, 8);
   WaitForGraph g1, g8;
-  LockManager plain(0, &g1);
-  LockManager sharded(0, &g8, true, &shards);
+  LockManager plain(0, 100, &g1);
+  LockManager sharded(0, 100, &g8, true, &shards);
   EXPECT_EQ(sharded.num_shards(), 8u);
   for (LockManager* lm : {&plain, &sharded}) {
     EXPECT_EQ(lm->Acquire(1, 10, nullptr),
@@ -126,7 +126,7 @@ TEST(ShardedLockManagerTest, SemanticsIdenticalAcrossShardCounts) {
 TEST(ShardedLockManagerTest, ShardWaitsAttributeToTheRightShard) {
   ShardMap shards(100, 4);  // shard size 25
   WaitForGraph graph;
-  LockManager locks(0, &graph, true, &shards);
+  LockManager locks(0, 100, &graph, true, &shards);
   ASSERT_EQ(locks.Acquire(1, 30, nullptr),
             LockManager::AcquireOutcome::kGranted);
   ASSERT_EQ(locks.Acquire(2, 30, [] {}),
