@@ -65,6 +65,8 @@ SimOutcome RunScheme(const SimConfig& config) {
   copts.action_time = SimTime::Seconds(config.action_time);
   copts.seed = config.seed;
   copts.enable_metrics = config.enable_metrics;
+  copts.backend = config.backend;
+  copts.time_scale = config.time_scale;
   Cluster cluster(copts);
 
   BatchShipper::Options batch;
@@ -144,19 +146,25 @@ SimOutcome RunScheme(const SimConfig& config) {
     }
     injector = std::make_unique<fault::FaultInjector>(&cluster, plan,
                                                       Rng(config.seed, 777));
+  }
+  if (faulted || config.run_invariant_checker) {
     fault::InvariantChecker::Options chk;
     chk.scheme = ToSchemeClass(config.kind);
     chk.ownership = &ownership;
     chk.check_interval = SimTime::Seconds(config.sim_seconds / 20);
-    chk.trace_fn = [inj = injector.get()]() { return inj->AppliedLogString(); };
+    if (injector != nullptr) {
+      chk.trace_fn = [inj = injector.get()]() {
+        return inj->AppliedLogString();
+      };
+    }
     checker = std::make_unique<fault::InvariantChecker>(&cluster, chk);
-    injector->Arm();
-    checker->Arm();
   }
+  if (injector != nullptr) injector->Arm();
+  if (checker != nullptr) checker->Arm();
 
   obs::TimeSeriesRecorder::Options ropts;
   ropts.interval = SimTime::Seconds(config.series_interval_seconds);
-  obs::TimeSeriesRecorder recorder(&cluster.sim(), &cluster.metrics(),
+  obs::TimeSeriesRecorder recorder(&cluster.runtime(), &cluster.metrics(),
                                    ropts);
   if (config.record_series && config.enable_metrics) {
     recorder.TrackRate("txn.committed");
@@ -182,24 +190,32 @@ SimOutcome RunScheme(const SimConfig& config) {
   recorder.Stop();
 
   SimOutcome outcome;
-  if (faulted) {
-    // Heal, drain, anti-entropy, then the final invariant check
-    // (convergence, or recorded delusion for lazy-group).
-    checker->Disarm();
+  if (checker != nullptr) checker->Disarm();
+  if (injector != nullptr) {
     injector->Disarm();
     injector->HealAll();
-    // Pending batch windows are bounded staleness, not loss: drain them
-    // before the convergence check, like any other in-flight traffic.
+  }
+  if (faulted || config.drain) {
+    // Heal, drain, anti-entropy. Pending batch windows are bounded
+    // staleness, not loss: drain them before the convergence check,
+    // like any other in-flight traffic.
     if (lazy_group != nullptr) lazy_group->FlushAllBatches();
     if (lazy_master != nullptr) lazy_master->FlushAllBatches();
-    cluster.sim().Run();
+    cluster.runtime().Run();
     if (lazy_master != nullptr) lazy_master->CatchUpAll();
-    cluster.sim().Run();
+    cluster.runtime().Run();
+  }
+  if (checker != nullptr) {
+    // The final invariant check: convergence, or recorded delusion for
+    // lazy-group. Violations stay unacknowledged: the checker
+    // destructor reports them and aborts the benchmark (the CI
+    // robustness gate).
     checker->CheckFinal();
-    outcome.injected_drops = injector->injected_drops();
     outcome.invariant_violations = checker->violations_total();
-    // Violations stay unacknowledged: the checker destructor reports
-    // them and aborts the benchmark (the CI robustness gate).
+    outcome.delusion_slots = checker->delusion_slots();
+  }
+  if (injector != nullptr) {
+    outcome.injected_drops = injector->injected_drops();
   }
   outcome.seconds = out.seconds;
   outcome.submitted = out.submitted;
@@ -220,6 +236,28 @@ SimOutcome RunScheme(const SimConfig& config) {
     outcome.batches_shipped = lazy_master->batch_shipper()->batches_shipped();
     outcome.updates_coalesced =
         lazy_master->batch_shipper()->updates_coalesced();
+  }
+  // Equivalence fingerprints: the full-state digest plus per-shard
+  // digests, captured after any drain so both backends see the same
+  // quiesced state.
+  outcome.state_digest = cluster.StateDigest();
+  outcome.shard_digests.reserve(
+      static_cast<std::size_t>(cluster.shards().num_shards()) *
+      cluster.size());
+  for (ShardId s = 0; s < cluster.shards().num_shards(); ++s) {
+    for (std::uint64_t d : cluster.ShardDigests(s)) {
+      outcome.shard_digests.push_back(d);
+    }
+  }
+  if (cluster.thread_runtime() != nullptr) {
+    // Join the workers now (idempotent — the destructor also does it)
+    // so the runtime's kProfile metrics are published and its counters
+    // are final before the snapshot below.
+    cluster.thread_runtime()->Shutdown();
+    outcome.runtime_dispatched = cluster.thread_runtime()->dispatched();
+    double sim_s = cluster.thread_runtime()->sim_seconds();
+    outcome.wall_sim_ratio =
+        sim_s > 0 ? cluster.thread_runtime()->wall_seconds() / sim_s : 0;
   }
   if (config.enable_metrics) {
     // Export the simulator's own health gauges before snapshotting;

@@ -81,6 +81,23 @@ struct SimConfig {
   /// on the simulator clock into SimOutcome::series.
   bool record_series = false;
   double series_interval_seconds = 0.5;
+
+  // Real-threads runtime (src/runtime). Both backends order events by
+  // the same virtual (time, seq) key, so a (seed, config) pair is
+  // bit-identical across them — the differential suite's oracle
+  // property.
+  /// Execution backend for the cluster's event loop.
+  RuntimeBackend backend = RuntimeBackend::kSim;
+  /// kThreads pacing: wall-seconds per sim-second (0 free-runs).
+  double time_scale = 0;
+  /// If true, drain all in-flight traffic after the measurement window
+  /// (flush batch planes, run the event loop dry, lazy-master
+  /// catch-up) before capturing digests — faulted runs always drain.
+  bool drain = false;
+  /// If true, arm the invariant checker even on fault-free runs and
+  /// report its verdict in SimOutcome (differential suite's second
+  /// oracle channel).
+  bool run_invariant_checker = false;
 };
 
 struct SimOutcome {
@@ -98,6 +115,20 @@ struct SimOutcome {
   std::uint64_t updates_coalesced = 0;  // updates absorbed by compaction
   std::uint64_t injected_drops = 0;   // messages lost to fault injection
   std::uint64_t invariant_violations = 0;  // always 0 unless aborted
+  std::uint64_t delusion_slots = 0;   // lazy-group unrepairable divergence
+  /// Order-sensitive digest of every node's store (values + virtual
+  /// timestamps) at the end of the run — the cross-backend equivalence
+  /// fingerprint.
+  std::uint64_t state_digest = 0;
+  /// Per-shard digests, shard-major then node order (num_shards *
+  /// nodes entries) — the fine-grained twin of state_digest.
+  std::vector<std::uint64_t> shard_digests;
+  /// kThreads only: events executed on worker threads (deterministic —
+  /// a function of the event schedule, not of thread timing).
+  std::uint64_t runtime_dispatched = 0;
+  /// kThreads only: wall-seconds per sim-second actually achieved
+  /// (nondeterministic; excluded from any equivalence comparison).
+  double wall_sim_ratio = 0;
   /// Deterministic snapshot of the cluster's full registry (empty when
   /// SimConfig::enable_metrics is false).
   obs::MetricsSnapshot metrics;

@@ -5,9 +5,9 @@
 
 namespace tdr {
 
-Network::Network(sim::Simulator* sim, std::vector<Node*> nodes,
+Network::Network(runtime::Runtime* rt, std::vector<Node*> nodes,
                  Options options, obs::MetricsRegistry* metrics)
-    : sim_(sim),
+    : sim_(rt),
       nodes_(std::move(nodes)),
       options_(options),
       outbox_(nodes_.size()),
@@ -82,7 +82,9 @@ void Network::Transmit(Handle h) {
     }
   }
   SimTime latency = options_.delay + options_.message_cpu * 2 + extra;
-  sim_->ScheduleAfter(latency, [this, h]() { Arrive(h); });
+  // Delivery runs at the DESTINATION: tag the event so the thread
+  // backend executes it on the receiving node's worker.
+  sim_->ScheduleAfterNode(to, latency, [this, h]() { Arrive(h); });
 }
 
 void Network::Arrive(Handle h) {
@@ -242,10 +244,10 @@ std::size_t Network::HeldCount() const {
   return total;
 }
 
-ConnectivitySchedule::ConnectivitySchedule(sim::Simulator* sim,
+ConnectivitySchedule::ConnectivitySchedule(runtime::Runtime* rt,
                                            Network* network, NodeId node,
                                            Options options, Rng rng)
-    : sim_(sim),
+    : sim_(rt),
       network_(network),
       node_(node),
       options_(options),

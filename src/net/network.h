@@ -8,8 +8,8 @@
 
 #include "net/message_pool.h"
 #include "obs/metrics.h"
+#include "runtime/runtime.h"
 #include "sim/callback.h"
-#include "sim/simulator.h"
 #include "txn/node.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -88,8 +88,9 @@ class Network {
     virtual InterceptVerdict OnTransmit(NodeId from, NodeId to) = 0;
   };
 
-  /// `metrics` may be null (uninstrumented network).
-  Network(sim::Simulator* sim, std::vector<Node*> nodes, Options options,
+  /// `metrics` may be null (uninstrumented network). `rt` is the
+  /// execution backend (the simulator, or the thread backend).
+  Network(runtime::Runtime* rt, std::vector<Node*> nodes, Options options,
           obs::MetricsRegistry* metrics);
 
   Network(const Network&) = delete;
@@ -186,7 +187,7 @@ class Network {
     return static_cast<std::size_t>(a) * nodes_.size() + b;
   }
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   std::vector<Node*> nodes_;
   Options options_;
   // Cached metric handles (no-ops without a registry); Send/Transmit/
@@ -240,7 +241,7 @@ class ConnectivitySchedule {
     bool start_disconnected = false;
   };
 
-  ConnectivitySchedule(sim::Simulator* sim, Network* network, NodeId node,
+  ConnectivitySchedule(runtime::Runtime* rt, Network* network, NodeId node,
                        Options options, Rng rng);
 
   /// Stops and cancels the pending phase-change event (it captures
@@ -263,7 +264,7 @@ class ConnectivitySchedule {
   void EnterConnected();
   void EnterDisconnected();
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   Network* network_;
   NodeId node_;
   Options options_;

@@ -71,10 +71,10 @@ void TimeSeriesStats::Merge(const TimeSeriesStats& other) {
   }
 }
 
-TimeSeriesRecorder::TimeSeriesRecorder(sim::Simulator* sim,
+TimeSeriesRecorder::TimeSeriesRecorder(runtime::Runtime* rt,
                                        MetricsRegistry* registry,
                                        Options options)
-    : sim_(sim), registry_(registry), options_(options) {}
+    : sim_(rt), registry_(registry), options_(options) {}
 
 TimeSeriesRecorder::~TimeSeriesRecorder() { Stop(); }
 

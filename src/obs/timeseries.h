@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "util/sim_time.h"
 #include "util/stats.h"
 
@@ -61,10 +61,10 @@ class TimeSeriesRecorder {
     SimTime interval = SimTime::Millis(500);
   };
 
-  /// `sim` and `registry` must outlive the recorder.
-  TimeSeriesRecorder(sim::Simulator* sim, MetricsRegistry* registry)
-      : TimeSeriesRecorder(sim, registry, Options()) {}
-  TimeSeriesRecorder(sim::Simulator* sim, MetricsRegistry* registry,
+  /// `rt` and `registry` must outlive the recorder.
+  TimeSeriesRecorder(runtime::Runtime* rt, MetricsRegistry* registry)
+      : TimeSeriesRecorder(rt, registry, Options()) {}
+  TimeSeriesRecorder(runtime::Runtime* rt, MetricsRegistry* registry,
                      Options options);
   ~TimeSeriesRecorder();
 
@@ -98,7 +98,7 @@ class TimeSeriesRecorder {
 
   void SampleAll();
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   MetricsRegistry* registry_;
   Options options_;
   std::vector<Channel> channels_;

@@ -4,11 +4,11 @@
 
 namespace tdr {
 
-BatchShipper::BatchShipper(sim::Simulator* sim, Network* net,
+BatchShipper::BatchShipper(runtime::Runtime* rt, Network* net,
                            std::uint32_t num_nodes, std::string_view stream,
                            obs::MetricsRegistry* metrics, Options options,
                            DeliverFn deliver)
-    : sim_(sim),
+    : sim_(rt),
       net_(net),
       num_nodes_(num_nodes),
       options_(options),
@@ -57,8 +57,11 @@ void BatchShipper::Enqueue(NodeId origin, NodeId dest,
   if (was_empty) {
     s.opened = sim_->Now();
     if (options_.flush_window > SimTime::Zero()) {
-      s.flush_event = sim_->ScheduleAfter(
-          options_.flush_window, [this, origin, dest] { Flush(origin, dest); });
+      // The flush reads the ORIGIN's stream state: tag it so the thread
+      // backend runs it on the origin's worker.
+      s.flush_event = sim_->ScheduleAfterNode(
+          origin, options_.flush_window,
+          [this, origin, dest] { Flush(origin, dest); });
     }
   }
   if (options_.max_batch_updates > 0 &&

@@ -12,9 +12,18 @@ Cluster::Cluster(Options options)
         id, options_.db_size, &graph_, options_.detect_deadlock_cycles,
         &shards_));
   }
-  net_ = std::make_unique<Network>(&sim_, node_ptrs(), options_.net,
+  if (options_.backend == RuntimeBackend::kThreads) {
+    runtime::ThreadRuntime::Options topts;
+    topts.time_scale = options_.time_scale;
+    thread_rt_ = std::make_unique<runtime::ThreadRuntime>(
+        &sim_, options_.num_nodes, topts, metrics_or_null());
+    rt_ = thread_rt_.get();
+  } else {
+    rt_ = &sim_;
+  }
+  net_ = std::make_unique<Network>(rt_, node_ptrs(), options_.net,
                                    metrics_or_null());
-  exec_ = std::make_unique<Executor>(&sim_, node_ptrs(), metrics_or_null());
+  exec_ = std::make_unique<Executor>(rt_, node_ptrs(), metrics_or_null());
 }
 
 std::vector<Node*> Cluster::node_ptrs() {

@@ -7,6 +7,8 @@
 
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "runtime/runtime.h"
+#include "runtime/thread_runtime.h"
 #include "sim/simulator.h"
 #include "storage/shard_map.h"
 #include "txn/executor.h"
@@ -16,6 +18,15 @@
 #include "util/stats.h"
 
 namespace tdr {
+
+/// Which execution backend a Cluster runs on. Both order events by the
+/// same virtual (time, seq) key, so a seeded scenario is bit-identical
+/// across backends; kThreads additionally runs each node's events on a
+/// dedicated OS thread (see runtime/thread_runtime.h).
+enum class RuntimeBackend {
+  kSim,      // single-threaded deterministic simulator (default)
+  kThreads,  // one worker thread + mailbox per node, sim as the clock
+};
 
 /// A fully-replicated cluster per the §2 model: `num_nodes` nodes, each
 /// holding a replica of all `db_size` objects, wired by a simulated
@@ -43,6 +54,10 @@ class Cluster {
     /// bench_headline compares against to bound instrumentation
     /// overhead; metrics() still exists but stays empty.
     bool enable_metrics = true;
+    /// Execution backend; every component schedules through runtime().
+    RuntimeBackend backend = RuntimeBackend::kSim;
+    /// kThreads only: wall-seconds per sim-second pacing (0 free-runs).
+    double time_scale = 0;
   };
 
   explicit Cluster(Options options);
@@ -50,7 +65,14 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  /// The virtual clock / event core. With the kThreads backend, do not
+  /// Run it directly — drive execution through runtime() so dispatch
+  /// happens; reading Now()/executed_events() is always fine.
   sim::Simulator& sim() { return sim_; }
+  /// The execution backend every component schedules against.
+  runtime::Runtime& runtime() { return *rt_; }
+  /// The thread backend, or null when backend == kSim.
+  runtime::ThreadRuntime* thread_runtime() { return thread_rt_.get(); }
   Network& net() { return *net_; }
   Executor& executor() { return *exec_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -105,6 +127,10 @@ class Cluster {
   obs::MetricsRegistry metrics_;
   ShardMap shards_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Declared before net_/exec_ (they take rt_), destroyed after them:
+  // by then no dispatch is in flight, so joining idle workers is safe.
+  std::unique_ptr<runtime::ThreadRuntime> thread_rt_;
+  runtime::Runtime* rt_ = nullptr;  // &sim_, or thread_rt_.get()
   std::unique_ptr<Network> net_;
   std::unique_ptr<Executor> exec_;
 };

@@ -74,12 +74,15 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     OpenLoopArrivals::Options aopts;
     aopts.tps = options_.tps_per_node;
     aopts.poisson = options_.poisson_arrivals;
+    // On the thread backend each origin's arrivals (and the submission
+    // chain they start) execute on that origin's worker thread.
+    aopts.node_affinity = origin;
     auto gen_rng = std::make_shared<Rng>(rng.Fork());
     // Per-origin submission counter handles were resolved in the
     // constructor; bumping them is allocation-free on every arrival.
     obs::MetricsRegistry::Counter submitted_at = submitted_at_[origin];
     arrivals.push_back(std::make_unique<OpenLoopArrivals>(
-        &cluster_->sim(), aopts, rng.Fork(),
+        &cluster_->runtime(), aopts, rng.Fork(),
         [this, &outcome, origin, gen_rng, submitted_at]() mutable {
           if (cluster_->node(origin)->crashed()) {
             // A crashed node originates nothing; its arrival stream
@@ -97,13 +100,13 @@ WorkloadDriver::Outcome WorkloadDriver::Run() {
     arrivals.back()->Start();
   }
   SimTime horizon =
-      cluster_->sim().Now() + SimTime::Seconds(options_.seconds);
+      cluster_->runtime().Now() + SimTime::Seconds(options_.seconds);
   {
     // Wall-clock cost of the whole event loop for this window — the
     // profile section of run reports (kProfile: never part of
     // deterministic snapshots).
     obs::ProfileScope scope(profile_event_loop_);
-    cluster_->sim().RunUntil(horizon);
+    cluster_->runtime().RunUntil(horizon);
   }
   for (auto& a : arrivals) a->Stop();
 

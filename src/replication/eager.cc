@@ -30,7 +30,7 @@ void EagerGroupScheme::Submit(NodeId origin, const Program& program,
   if (!cluster_->node(origin)->connected() ||
       (options_.require_all_connected && !AllReachable(cluster_, origin))) {
     cluster_->metrics().Increment("scheme.unavailable");
-    if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+    if (done) done(UnavailableResult(origin, cluster_->runtime().Now()));
     return;
   }
   // Compile: each write applies at the origin replica first, then at
@@ -64,7 +64,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
   if (!cluster_->node(origin)->connected() ||
       (options_.require_all_connected && !AllReachable(cluster_, origin))) {
     cluster_->metrics().Increment("scheme.unavailable");
-    if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+    if (done) done(UnavailableResult(origin, cluster_->runtime().Now()));
     return;
   }
   // Masters must be reachable: "A node wanting to update an object must
@@ -73,7 +73,7 @@ void EagerMasterScheme::Submit(NodeId origin, const Program& program,
     if (op.IsWrite() &&
         !cluster_->net().Reachable(origin, ownership_->OwnerOf(op.oid))) {
       cluster_->metrics().Increment("scheme.unavailable");
-      if (done) done(UnavailableResult(origin, cluster_->sim().Now()));
+      if (done) done(UnavailableResult(origin, cluster_->runtime().Now()));
       return;
     }
   }

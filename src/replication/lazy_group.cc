@@ -7,18 +7,18 @@ namespace tdr {
 LazyGroupScheme::LazyGroupScheme(Cluster* cluster, Options options)
     : cluster_(cluster),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(),
+      applier_(&cluster->runtime(), &cluster->executor(),
                cluster->metrics_or_null()) {
   if (options_.batch.flush_window > SimTime::Zero() ||
       options_.batch.max_batch_updates > 0) {
     shipper_ = std::make_unique<BatchShipper>(
-        &cluster_->sim(), &cluster_->net(), cluster_->size(), name(),
+        &cluster_->runtime(), &cluster_->net(), cluster_->size(), name(),
         cluster_->metrics_or_null(), options_.batch,
         [this](const UpdateBatch& batch) { ApplyBatch(batch); });
   }
   if (options_.batch_interval > SimTime::Zero()) {
     for (NodeId origin = 0; origin < cluster_->size(); ++origin) {
-      flusher_series_.push_back(cluster_->sim().RepeatEvery(
+      flusher_series_.push_back(cluster_->runtime().RepeatEvery(
           options_.batch_interval,
           [this, origin]() { FlushBatches(origin); }));
     }
@@ -27,7 +27,7 @@ LazyGroupScheme::LazyGroupScheme(Cluster* cluster, Options options)
 
 LazyGroupScheme::~LazyGroupScheme() {
   for (sim::EventId series : flusher_series_) {
-    cluster_->sim().Cancel(series);
+    cluster_->runtime().Cancel(series);
   }
 }
 

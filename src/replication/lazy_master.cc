@@ -12,12 +12,12 @@ LazyMasterScheme::LazyMasterScheme(Cluster* cluster,
     : cluster_(cluster),
       ownership_(ownership),
       options_(options),
-      applier_(&cluster->sim(), &cluster->executor(),
+      applier_(&cluster->runtime(), &cluster->executor(),
                cluster->metrics_or_null()) {
   if (options_.batch.flush_window > SimTime::Zero() ||
       options_.batch.max_batch_updates > 0) {
     shipper_ = std::make_unique<BatchShipper>(
-        &cluster_->sim(), &cluster_->net(), cluster_->size(), name(),
+        &cluster_->runtime(), &cluster_->net(), cluster_->size(), name(),
         cluster_->metrics_or_null(), options_.batch,
         [this](const UpdateBatch& batch) {
           ApplyAt(cluster_->node(batch.dest), batch.updates);
@@ -60,7 +60,7 @@ void LazyMasterScheme::SubmitWithPrecommit(NodeId origin,
     TxnResult r;
     r.origin = origin;
     r.outcome = TxnOutcome::kUnavailable;
-    r.start_time = cluster_->sim().Now();
+    r.start_time = cluster_->runtime().Now();
     r.end_time = r.start_time;
     if (done) done(r);
     return;

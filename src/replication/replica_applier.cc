@@ -143,17 +143,20 @@ void ReplicaApplier::AcquireNext(Job* job) {
       job->txn, rec.oid, [this, job, serial]() {
         if (job->serial != serial) return;
         // Lock granted after a wait; pay the action time then apply.
-        sim_->ScheduleAfter(job->options.action_time, [this, job, serial]() {
-          if (job->serial != serial) return;
-          ApplyCurrent(job);
-        });
+        sim_->ScheduleAfterNode(
+            job->node->id(), job->options.action_time,
+            [this, job, serial]() {
+              if (job->serial != serial) return;
+              ApplyCurrent(job);
+            });
       });
   switch (outcome) {
     case LockManager::AcquireOutcome::kGranted:
-      sim_->ScheduleAfter(job->options.action_time, [this, job, serial]() {
-        if (job->serial != serial) return;
-        ApplyCurrent(job);
-      });
+      sim_->ScheduleAfterNode(
+          job->node->id(), job->options.action_time, [this, job, serial]() {
+            if (job->serial != serial) return;
+            ApplyCurrent(job);
+          });
       return;
     case LockManager::AcquireOutcome::kQueued:
       m_waits_.Increment();
@@ -233,10 +236,11 @@ void ReplicaApplier::HandleDeadlock(Job* job) {
   // double-count conflicts.
   job->txn = executor_->AllocateTxnId();
   const std::uint64_t serial = job->serial;
-  sim_->ScheduleAfter(job->options.retry_backoff, [this, job, serial]() {
-    if (job->serial != serial) return;
-    AcquireNext(job);
-  });
+  sim_->ScheduleAfterNode(
+      job->node->id(), job->options.retry_backoff, [this, job, serial]() {
+        if (job->serial != serial) return;
+        AcquireNext(job);
+      });
 }
 
 void ReplicaApplier::FinishJob(Job* job) {

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "storage/shard_map.h"
 #include "storage/update_log.h"
 #include "txn/executor.h"
@@ -70,9 +70,9 @@ class ReplicaApplier {
 
   /// `executor` supplies transaction ids (shared id space keeps the
   /// global wait-for graph sound); `metrics` may be null.
-  ReplicaApplier(sim::Simulator* sim, Executor* executor,
+  ReplicaApplier(runtime::Runtime* rt, Executor* executor,
                  obs::MetricsRegistry* metrics)
-      : sim_(sim), executor_(executor), metrics_(metrics) {
+      : sim_(rt), executor_(executor), metrics_(metrics) {
     if (metrics != nullptr) {
       m_waits_ = metrics->GetCounter("replica.waits");
       m_applied_ = metrics->GetCounter("replica.applied");
@@ -129,7 +129,7 @@ class ReplicaApplier {
             std::string detail = "");
   obs::MetricsRegistry::Counter& ShardAppliedCounter(ShardId shard);
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   Executor* executor_;
   obs::MetricsRegistry* metrics_;
   // Cached metric handles; no-ops when built without a registry.

@@ -33,9 +33,10 @@ void RetryingSubmitter::Attempt(NodeId origin, Program program,
           for (int i = 0; i < attempt && factor < 1000; ++i) factor *= 2;
           backoff = backoff * factor;
         }
-        cluster_->sim().ScheduleAfter(
-            backoff, [this, origin, program = std::move(program),
-                      done = std::move(done), attempt]() mutable {
+        cluster_->runtime().ScheduleAfterNode(
+            origin, backoff,
+            [this, origin, program = std::move(program),
+             done = std::move(done), attempt]() mutable {
               Attempt(origin, std::move(program), std::move(done),
                       attempt + 1);
             });

@@ -1,0 +1,202 @@
+#include "runtime/thread_runtime.h"
+
+#include <utility>
+
+namespace tdr::runtime {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ToSeconds(SteadyClock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Accumulates the wall/sim costs of one Run/RunUntil call.
+class RunScope {
+ public:
+  RunScope(double* wall, double* sim_secs, const sim::Simulator* clock)
+      : wall_(wall),
+        sim_secs_(sim_secs),
+        clock_(clock),
+        wall_start_(SteadyClock::now()),
+        sim_start_(clock->Now()) {}
+  ~RunScope() {
+    *wall_ += ToSeconds(SteadyClock::now() - wall_start_);
+    *sim_secs_ += (clock_->Now() - sim_start_).seconds();
+  }
+
+ private:
+  double* wall_;
+  double* sim_secs_;
+  const sim::Simulator* clock_;
+  SteadyClock::time_point wall_start_;
+  SimTime sim_start_;
+};
+
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(sim::Simulator* clock, std::uint32_t num_nodes,
+                             Options options, obs::MetricsRegistry* metrics)
+    : clock_(clock),
+      options_(options),
+      metrics_(metrics),
+      barrier_(num_nodes) {
+  workers_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after every Worker exists: a worker's loop touches just
+  // its own slot, but the vector must not grow under it.
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() { Shutdown(); }
+
+sim::EventId ThreadRuntime::ScheduleAtNode(std::uint32_t node, SimTime when,
+                                           sim::Callback fn) {
+  // The wrapper owns the real callback and lives in the clock's slab;
+  // at fire time (coordinator) it hands the callback to the node's
+  // worker and blocks until done, so the capture outlives execution.
+  // For repeat series the same wrapper fires every tick.
+  return clock_->ScheduleAt(when, [this, node, fn = std::move(fn)]() mutable {
+    Dispatch(node, &fn);
+  });
+}
+
+sim::EventId ThreadRuntime::ScheduleAfterNode(std::uint32_t node,
+                                              SimTime delay,
+                                              sim::Callback fn) {
+  return ScheduleAtNode(
+      node, clock_->Now() + (delay < SimTime::Zero() ? SimTime::Zero() : delay),
+      std::move(fn));
+}
+
+sim::EventId ThreadRuntime::RepeatEvery(SimTime interval, sim::Callback fn) {
+  return clock_->RepeatEvery(interval,
+                             [this, fn = std::move(fn)]() mutable {
+                               Dispatch(kAnyNode, &fn);
+                             });
+}
+
+void ThreadRuntime::Dispatch(std::uint32_t node, sim::Callback* fn) {
+  if (node >= workers_.size() || stopped_) {
+    ++inline_events_;
+    (*fn)();
+    return;
+  }
+  Task task;
+  task.fn = fn;
+  task.done = &gate_;
+  gate_.Reset();
+  if (!workers_[node]->box.Push(&task)) {
+    // Closed mailbox (shutdown race): degrade to inline execution —
+    // same order, same result, just no thread hop.
+    ++inline_events_;
+    (*fn)();
+    return;
+  }
+  ++dispatched_;
+  gate_.Wait();
+}
+
+void ThreadRuntime::WorkerLoop(std::uint32_t index) {
+  Worker& w = *workers_[index];
+  while (Task* task = w.box.Pop()) {
+    SteadyClock::time_point start = SteadyClock::now();
+    (*task->fn)();
+    w.busy += SteadyClock::now() - start;
+    ++w.executed;
+    if (task->done != nullptr) task->done->Signal();
+  }
+  // Mailbox closed and drained: rendezvous so no worker exits while a
+  // sibling still holds undrained work.
+  barrier_.ArriveAndWait();
+}
+
+void ThreadRuntime::Pace(SimTime next) {
+  if (!pace_anchored_) {
+    pace_anchored_ = true;
+    pace_wall_start_ = SteadyClock::now();
+    pace_sim_start_ = clock_->Now();
+  }
+  double sim_elapsed = (next - pace_sim_start_).seconds();
+  if (sim_elapsed <= 0) return;
+  std::this_thread::sleep_until(
+      pace_wall_start_ +
+      std::chrono::duration_cast<SteadyClock::duration>(
+          std::chrono::duration<double>(sim_elapsed * options_.time_scale)));
+}
+
+std::uint64_t ThreadRuntime::RunUntil(SimTime horizon) {
+  RunScope scope(&wall_seconds_, &sim_seconds_, clock_);
+  if (options_.time_scale <= 0) return clock_->RunUntil(horizon);
+  std::uint64_t ran = 0;
+  SimTime next;
+  while (clock_->PeekNextTime(&next) && next <= horizon) {
+    Pace(next);
+    if (!clock_->Step()) break;
+    ++ran;
+  }
+  // Nothing left at or before the horizon; advance Now() to it, exactly
+  // as the sim backend does.
+  clock_->RunUntil(horizon);
+  return ran;
+}
+
+std::uint64_t ThreadRuntime::Run(std::uint64_t max_events) {
+  RunScope scope(&wall_seconds_, &sim_seconds_, clock_);
+  if (options_.time_scale <= 0) return clock_->Run(max_events);
+  std::uint64_t ran = 0;
+  SimTime next;
+  while (ran < max_events && clock_->PeekNextTime(&next)) {
+    Pace(next);
+    if (!clock_->Step()) break;
+    ++ran;
+  }
+  return ran;
+}
+
+void ThreadRuntime::Shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& w : workers_) w->box.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  PublishMetrics();
+}
+
+double ThreadRuntime::worker_busy_seconds() const {
+  double total = 0;
+  for (const auto& w : workers_) total += ToSeconds(w->busy);
+  return total;
+}
+
+void ThreadRuntime::PublishMetrics() {
+  if (metrics_ == nullptr) return;
+  // Wall-clock-derived values go to kProfile metrics only: they are
+  // nondeterministic by nature and must never leak into deterministic
+  // snapshots (obs::SnapshotOptions excludes kProfile by default).
+  obs::MetricsRegistry::StatsHandle busy =
+      metrics_->GetProfile("runtime.worker_busy_seconds");
+  obs::MetricsRegistry::StatsHandle depth =
+      metrics_->GetProfile("runtime.mailbox_max_depth");
+  obs::MetricsRegistry::StatsHandle util =
+      metrics_->GetProfile("runtime.worker_utilization");
+  for (const auto& w : workers_) {
+    busy.Record(ToSeconds(w->busy));
+    depth.Record(static_cast<double>(w->box.max_depth()));
+    if (wall_seconds_ > 0) {
+      util.Record(ToSeconds(w->busy) / wall_seconds_);
+    }
+  }
+  if (sim_seconds_ > 0) {
+    metrics_->GetProfile("runtime.wall_sim_ratio")
+        .Record(wall_seconds_ / sim_seconds_);
+  }
+}
+
+}  // namespace tdr::runtime

@@ -1,0 +1,154 @@
+#ifndef TDR_RUNTIME_THREAD_RUNTIME_H_
+#define TDR_RUNTIME_THREAD_RUNTIME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/mailbox.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+namespace tdr::runtime {
+
+/// Real-threads execution backend: every cluster node gets its own OS
+/// worker thread with an MPSC mailbox, and node-tagged events execute
+/// on that node's thread.
+///
+/// Ordering is the key design decision. The cluster shares genuinely
+/// cross-node state — one Executor, one WaitForGraph, one metrics
+/// registry — so nodes cannot fire events concurrently without giving
+/// up the semantics the paper's model (and the sim oracle) defines.
+/// Instead the backend is TURN-BASED: it wraps the cluster's own
+/// sim::Simulator as the virtual clock and event order, and a
+/// coordinator (whoever calls Run/RunUntil) pops events in exactly the
+/// sim's (time, seq) order, dispatching each node-tagged callback to
+/// its worker's mailbox and blocking on a completion gate until the
+/// worker has run it. Events with kAnyNode affinity run inline on the
+/// coordinator.
+///
+/// Consequences:
+///  * Equivalence by construction: a seeded scenario executes the same
+///    events in the same order with the same virtual timestamps as the
+///    sim backend, so final store digests are bit-identical. The
+///    differential suite (tests/runtime_differential_test.cc) asserts
+///    this for every scheme; it is the oracle contract, not a hope.
+///  * Real concurrency where it matters for testing: node state
+///    genuinely migrates across threads on every dispatch, so the
+///    mailbox/gate happens-before edges — and any component that
+///    secretly relied on thread identity — are exercised for real and
+///    verified under TSan.
+///  * Wall-clock pacing: with `time_scale` > 0 the coordinator sleeps
+///    each event until its virtual time maps to the wall clock
+///    (wall_seconds = sim_seconds * time_scale), turning simulated
+///    delivery delays into real ones. 0 free-runs.
+///
+/// Scheduling through this backend allocates (one wrapper per event):
+/// the zero-allocation contract belongs to the sim backend; promoting
+/// the dispatch path to pooled wrappers is a ROADMAP open item.
+class ThreadRuntime final : public Runtime {
+ public:
+  struct Options {
+    /// Wall-seconds per sim-second; 0 = run as fast as dispatch allows.
+    double time_scale = 0;
+  };
+
+  /// `clock` is the cluster's own simulator, used as virtual clock and
+  /// event core (never Run directly when this backend owns it).
+  /// `metrics` may be null; profile metrics (worker busy time, mailbox
+  /// depth, wall/sim ratio) are published on Shutdown.
+  ThreadRuntime(sim::Simulator* clock, std::uint32_t num_nodes,
+                Options options, obs::MetricsRegistry* metrics);
+
+  /// Shutdown(), then joins every worker.
+  ~ThreadRuntime() override;
+
+  // --- Runtime interface --------------------------------------------
+
+  SimTime Now() const override { return clock_->Now(); }
+  sim::EventId ScheduleAt(SimTime when, sim::Callback fn) override {
+    return ScheduleAtNode(kAnyNode, when, std::move(fn));
+  }
+  sim::EventId ScheduleAfter(SimTime delay, sim::Callback fn) override {
+    return ScheduleAfterNode(kAnyNode, delay, std::move(fn));
+  }
+  sim::EventId RepeatEvery(SimTime interval, sim::Callback fn) override;
+  bool Cancel(sim::EventId id) override { return clock_->Cancel(id); }
+  std::uint64_t RunUntil(SimTime horizon) override;
+  std::uint64_t Run(std::uint64_t max_events = (1ULL << 32)) override;
+  bool Idle() const override { return clock_->Idle(); }
+  std::size_t PendingEvents() const override {
+    return clock_->PendingEvents();
+  }
+  sim::EventId ScheduleAtNode(std::uint32_t node, SimTime when,
+                              sim::Callback fn) override;
+  sim::EventId ScheduleAfterNode(std::uint32_t node, SimTime delay,
+                                 sim::Callback fn) override;
+
+  // --- Lifecycle ----------------------------------------------------
+
+  /// Stop/drain barrier: closes every mailbox, waits for all workers to
+  /// drain and rendezvous, joins them, publishes profile metrics.
+  /// Idempotent; after shutdown every event runs inline on the caller.
+  void Shutdown();
+
+  bool stopped() const { return stopped_; }
+
+  // --- Introspection (stress suite + bench_runtime) -----------------
+
+  std::uint32_t workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  const Mailbox& mailbox(std::uint32_t node) const {
+    return workers_[node]->box;
+  }
+  /// Events executed on worker threads / inline on the coordinator.
+  /// Both are deterministic (pure functions of the seeded scenario).
+  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t inline_events() const { return inline_events_; }
+  /// Wall-clock seconds spent inside Run/RunUntil, and the virtual
+  /// seconds they advanced — their ratio is the wall/sim speed metric.
+  double wall_seconds() const { return wall_seconds_; }
+  double sim_seconds() const { return sim_seconds_; }
+  /// Total wall-clock seconds workers spent executing callbacks. Only
+  /// stable after Shutdown() (the destructor calls it).
+  double worker_busy_seconds() const;
+
+ private:
+  struct Worker {
+    Mailbox box;
+    std::chrono::steady_clock::duration busy{};
+    std::uint64_t executed = 0;
+    std::thread thread;
+  };
+
+  /// Runs `fn` on `node`'s worker (blocking until done) or inline.
+  /// Coordinator-only: called from inside clock_ event execution.
+  void Dispatch(std::uint32_t node, sim::Callback* fn);
+  void WorkerLoop(std::uint32_t index);
+  /// Sleeps until `next` maps onto the wall clock (time_scale > 0).
+  void Pace(SimTime next);
+  void PublishMetrics();
+
+  sim::Simulator* clock_;
+  Options options_;
+  obs::MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  StopBarrier barrier_;
+  Gate gate_;  // one dispatch in flight at a time (turn-based)
+  bool stopped_ = false;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t inline_events_ = 0;
+  bool pace_anchored_ = false;
+  std::chrono::steady_clock::time_point pace_wall_start_;
+  SimTime pace_sim_start_;
+  double wall_seconds_ = 0;
+  double sim_seconds_ = 0;
+};
+
+}  // namespace tdr::runtime
+
+#endif  // TDR_RUNTIME_THREAD_RUNTIME_H_

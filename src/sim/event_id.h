@@ -1,0 +1,17 @@
+#ifndef TDR_SIM_EVENT_ID_H_
+#define TDR_SIM_EVENT_ID_H_
+
+#include <cstdint>
+
+namespace tdr::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never
+/// reused within one Simulator. Split out of simulator.h so the
+/// runtime::Runtime interface (runtime/runtime.h) can speak EventIds
+/// without pulling in the whole event core.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace tdr::sim
+
+#endif  // TDR_SIM_EVENT_ID_H_

@@ -6,16 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "sim/callback.h"
 #include "sim/event_heap.h"
+#include "sim/event_id.h"
 #include "util/sim_time.h"
 
 namespace tdr::sim {
-
-/// Identifies a scheduled event so it can be cancelled. Ids are never
-/// reused within one Simulator.
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
 
 /// Deterministic discrete-event simulator.
 ///
@@ -42,7 +39,13 @@ inline constexpr EventId kInvalidEventId = 0;
 /// allocate nothing in steady state. Repeat series are intrusive: the
 /// series' own slot is re-armed after each tick with a fresh sequence
 /// number, so periodic timers never touch a side table.
-class Simulator {
+///
+/// The class is `final` and implements runtime::Runtime: components
+/// typed against the interface pay one virtual dispatch per schedule,
+/// while everything holding a concrete Simulator (the tests, the sweep
+/// runner, the thread backend's clock core) devirtualizes back to the
+/// same inline fast paths as before.
+class Simulator final : public runtime::Runtime {
  public:
   using Callback = ::tdr::sim::Callback;
 
@@ -52,12 +55,12 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time. Starts at zero.
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `fn` to run at absolute time `when`. Scheduling in the
   /// past is an error and the event is clamped to Now() (and counted in
   /// `clamped_schedules()` so tests can assert it never happens).
-  EventId ScheduleAt(SimTime when, Callback fn) {
+  EventId ScheduleAt(SimTime when, Callback fn) override {
     if (when < now_) {
       ++clamped_schedules_;
       when = now_;
@@ -68,7 +71,7 @@ class Simulator {
   /// Schedules `fn` to run `delay` after Now(). Negative delays clamp to
   /// zero and count in `clamped_schedules()`, same as past-time
   /// ScheduleAt.
-  EventId ScheduleAfter(SimTime delay, Callback fn) {
+  EventId ScheduleAfter(SimTime delay, Callback fn) override {
     if (delay < SimTime::Zero()) {
       ++clamped_schedules_;
       delay = SimTime::Zero();
@@ -78,7 +81,7 @@ class Simulator {
 
   /// Cancels a pending event. Returns true if the event existed and had
   /// not yet fired.
-  bool Cancel(EventId id) {
+  bool Cancel(EventId id) override {
     std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
     std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
     if (gen == 0 || slot >= slots_.size()) return false;
@@ -96,26 +99,36 @@ class Simulator {
   /// Schedules `fn` every `interval`, starting at Now() + interval, until
   /// the returned id is cancelled. `fn` runs before the next occurrence
   /// is scheduled, so it may Cancel the series from inside itself.
-  EventId RepeatEvery(SimTime interval, Callback fn);
+  EventId RepeatEvery(SimTime interval, Callback fn) override;
 
   /// Runs events until the queue is empty or `horizon` is passed. Events
   /// scheduled exactly at the horizon DO run. Returns the number of
   /// events executed.
-  std::uint64_t RunUntil(SimTime horizon);
+  std::uint64_t RunUntil(SimTime horizon) override;
 
   /// Runs until the queue is empty. A runaway self-rescheduling workload
   /// would never terminate, so `max_events` (default ~4e9) bounds it.
-  std::uint64_t Run(std::uint64_t max_events = (1ULL << 32));
+  std::uint64_t Run(std::uint64_t max_events = (1ULL << 32)) override;
 
   /// Executes exactly one event if any is pending. Returns true if an
   /// event ran.
   bool Step();
 
+  /// Writes the next live event's firing time to `when` and returns
+  /// true; false when idle. The thread backend's coordinator uses this
+  /// to pace dispatch against the wall clock without popping anything.
+  bool PeekNextTime(SimTime* when) {
+    SkipStale();
+    if (heap_.empty()) return false;
+    *when = heap_.Top().when;
+    return true;
+  }
+
   /// True if no events are pending (cancelled events are ignored).
-  bool Idle() const { return pending_ == 0; }
+  bool Idle() const override { return pending_ == 0; }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t PendingEvents() const { return pending_; }
+  std::size_t PendingEvents() const override { return pending_; }
 
   std::uint64_t executed_events() const { return executed_events_; }
   std::uint64_t clamped_schedules() const { return clamped_schedules_; }

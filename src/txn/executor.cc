@@ -23,9 +23,9 @@ std::string_view TxnOutcomeToString(TxnOutcome outcome) {
   return "?";
 }
 
-Executor::Executor(sim::Simulator* sim, std::vector<Node*> nodes,
+Executor::Executor(runtime::Runtime* rt, std::vector<Node*> nodes,
                    obs::MetricsRegistry* metrics)
-    : sim_(sim), nodes_(std::move(nodes)) {
+    : sim_(rt), nodes_(std::move(nodes)) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     assert(nodes_[i] != nullptr && nodes_[i]->id() == i);
   }
@@ -243,8 +243,8 @@ void Executor::StepAcquire(Inflight* t) {
       if (t->opts.wait_timeout > SimTime::Zero()) {
         NodeId wait_node = step.node;
         ObjectId wait_oid = step.op.oid;
-        sim_->ScheduleAfter(
-            t->opts.wait_timeout,
+        sim_->ScheduleAfterNode(
+            wait_node, t->opts.wait_timeout,
             [this, t, id, wait_node, wait_oid]() {
               if (t->id != id) return;  // already finished
               // Withdraw the request iff it is still queued; a false
@@ -274,7 +274,9 @@ void Executor::StepExecute(Inflight* t) {
                      ? SimTime::Zero()
                      : t->opts.action_time;
   TxnId id = t->id;
-  sim_->ScheduleAfter(cost, [this, t, id]() {
+  // The step mutates step.node's store/locks: run it on that node's
+  // worker under the thread backend.
+  sim_->ScheduleAfterNode(step.node, cost, [this, t, id]() {
     if (t->id != id) return;
     ApplyStep(t);
   });

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "storage/update_log.h"
 #include "txn/node.h"
 #include "txn/op.h"
@@ -162,7 +162,7 @@ class Executor {
   /// `nodes[i]->id()` must equal i. All pointers must outlive the
   /// executor. `metrics` may be null — instrumentation then degrades to
   /// no-op handles, which is also how the overhead baseline is measured.
-  Executor(sim::Simulator* sim, std::vector<Node*> nodes,
+  Executor(runtime::Runtime* rt, std::vector<Node*> nodes,
            obs::MetricsRegistry* metrics);
 
   Executor(const Executor&) = delete;
@@ -262,7 +262,7 @@ class Executor {
   void Emit(TraceEventType type, const Inflight* t, NodeId node,
             ObjectId oid, std::string detail = "");
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   std::vector<Node*> nodes_;
   // Metric handles, acquired once at construction: the hot path bumps
   // through them in O(1) with no allocation and no name lookup. All are

@@ -105,9 +105,9 @@ void ProgramGenerator::NextInto(Rng& rng, Program* out) {
   }
 }
 
-OpenLoopArrivals::OpenLoopArrivals(sim::Simulator* sim, Options options,
+OpenLoopArrivals::OpenLoopArrivals(runtime::Runtime* rt, Options options,
                                    Rng rng, ArrivalCallback on_arrival)
-    : sim_(sim),
+    : sim_(rt),
       options_(options),
       rng_(rng),
       on_arrival_(std::move(on_arrival)) {
@@ -134,13 +134,14 @@ void OpenLoopArrivals::ScheduleNext() {
   double gap_seconds = options_.poisson
                            ? rng_.Exponential(1.0 / options_.tps)
                            : 1.0 / options_.tps;
-  pending_ = sim_->ScheduleAfter(SimTime::Seconds(gap_seconds), [this]() {
-    pending_ = sim::kInvalidEventId;
-    if (!running_) return;
-    ++arrivals_;
-    on_arrival_();
-    ScheduleNext();
-  });
+  pending_ = sim_->ScheduleAfterNode(
+      options_.node_affinity, SimTime::Seconds(gap_seconds), [this]() {
+        pending_ = sim::kInvalidEventId;
+        if (!running_) return;
+        ++arrivals_;
+        on_arrival_();
+        ScheduleNext();
+      });
 }
 
 }  // namespace tdr

@@ -6,7 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "txn/program.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -102,9 +102,12 @@ class OpenLoopArrivals {
   struct Options {
     double tps = 10.0;          // arrivals per simulated second
     bool poisson = true;        // exponential gaps; false = deterministic
+    /// Node whose worker runs the arrivals under the thread backend
+    /// (the originating node); kAnyNode = coordinator-inline.
+    std::uint32_t node_affinity = runtime::kAnyNode;
   };
 
-  OpenLoopArrivals(sim::Simulator* sim, Options options, Rng rng,
+  OpenLoopArrivals(runtime::Runtime* rt, Options options, Rng rng,
                    ArrivalCallback on_arrival);
 
   /// Stops and cancels any pending arrival event (the scheduled event
@@ -123,7 +126,7 @@ class OpenLoopArrivals {
  private:
   void ScheduleNext();
 
-  sim::Simulator* sim_;
+  runtime::Runtime* sim_;
   Options options_;
   Rng rng_;
   ArrivalCallback on_arrival_;

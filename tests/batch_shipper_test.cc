@@ -139,6 +139,76 @@ TEST_F(BatchShipperTest, FlushAllDrainsPendingStreams) {
   EXPECT_EQ(shipper.PendingUpdates(), 0u);
 }
 
+// Edge case: flush window of 0 with a size cap of 1 — no timer is ever
+// armed; the cap alone must ship every enqueued update exactly once,
+// synchronously with its Enqueue.
+TEST_F(BatchShipperTest, ZeroWindowCapOneShipsEveryUpdateExactlyOnce) {
+  BatchShipper shipper(
+      &cluster_->sim(), &cluster_->net(), cluster_->size(), "test",
+      cluster_->metrics_or_null(), WindowOptions(SimTime::Zero(), 1),
+      [&](const UpdateBatch& b) { delivered_.push_back(b); });
+  shipper.Enqueue(0, 1, {Rec(7, 0, 1, 10)});
+  shipper.Enqueue(0, 1, {Rec(8, 0, 2, 20)});
+  shipper.Enqueue(0, 1, {Rec(9, 0, 3, 30)});
+  // Each enqueue hit the cap and flushed immediately — nothing pending,
+  // nothing waiting on a (nonexistent) window event.
+  EXPECT_EQ(shipper.PendingUpdates(), 0u);
+  EXPECT_EQ(shipper.batches_shipped(), 3u);
+  cluster_->sim().Run();  // delivery only; no further flushes
+  ASSERT_EQ(delivered_.size(), 3u);
+  std::uint64_t total = 0;
+  for (const UpdateBatch& b : delivered_) total += b.size();
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(shipper.updates_shipped(), 3u);
+  EXPECT_EQ(delivered_[0].updates[0].oid, 7u);
+  EXPECT_EQ(delivered_[1].updates[0].oid, 8u);
+  EXPECT_EQ(delivered_[2].updates[0].oid, 9u);
+  // Per-stream sequence numbers stay dense: exactly-once, no re-ship.
+  EXPECT_EQ(delivered_[0].seq, 1u);
+  EXPECT_EQ(delivered_[1].seq, 2u);
+  EXPECT_EQ(delivered_[2].seq, 3u);
+}
+
+// Cap 1 with a multi-record Enqueue: the cap is tested after the whole
+// transaction's records are appended (documented overshoot), so the
+// batch ships once carrying all of them — never one per record, never
+// a leftover.
+TEST_F(BatchShipperTest, CapOneMultiRecordEnqueueShipsOneBatch) {
+  BatchShipper shipper(
+      &cluster_->sim(), &cluster_->net(), cluster_->size(), "test",
+      cluster_->metrics_or_null(), WindowOptions(SimTime::Zero(), 1),
+      [&](const UpdateBatch& b) { delivered_.push_back(b); });
+  shipper.Enqueue(0, 1, {Rec(7, 0, 1, 10), Rec(8, 0, 2, 20), Rec(9, 0, 3, 30)});
+  EXPECT_EQ(shipper.batches_shipped(), 1u);
+  EXPECT_EQ(shipper.updates_shipped(), 3u);
+  EXPECT_EQ(shipper.PendingUpdates(), 0u);
+  cluster_->sim().Run();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].size(), 3u);
+}
+
+// Edge case: window 0 AND cap 0 — nothing fires on its own; updates
+// park until an explicit FlushAll, which ships each exactly once and
+// is idempotent.
+TEST_F(BatchShipperTest, ZeroWindowZeroCapParksUntilExplicitFlush) {
+  BatchShipper shipper(
+      &cluster_->sim(), &cluster_->net(), cluster_->size(), "test",
+      cluster_->metrics_or_null(), WindowOptions(SimTime::Zero(), 0),
+      [&](const UpdateBatch& b) { delivered_.push_back(b); });
+  shipper.Enqueue(0, 1, {Rec(7, 0, 1, 10)});
+  shipper.Enqueue(0, 2, {Rec(8, 0, 2, 20)});
+  cluster_->sim().Run();
+  EXPECT_TRUE(delivered_.empty());  // no window, no cap, no shipping
+  EXPECT_EQ(shipper.PendingUpdates(), 2u);
+  shipper.FlushAll();
+  shipper.FlushAll();  // second flush finds empty builders: no-op
+  cluster_->sim().Run();
+  EXPECT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(shipper.batches_shipped(), 2u);
+  EXPECT_EQ(shipper.updates_shipped(), 2u);
+  EXPECT_EQ(shipper.PendingUpdates(), 0u);
+}
+
 TEST_F(BatchShipperTest, SelfAndEmptyEnqueuesAreIgnored) {
   BatchShipper shipper(
       &cluster_->sim(), &cluster_->net(), cluster_->size(), "test",

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 
+#include "sim/simulator.h"
 #include "txn/executor.h"
 
 namespace tdr {

@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "sim/simulator.h"
+
 namespace tdr {
 namespace {
 

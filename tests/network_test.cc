@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/simulator.h"
+
 namespace tdr {
 namespace {
 

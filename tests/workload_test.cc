@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "sim/simulator.h"
+
 namespace tdr {
 namespace {
 
