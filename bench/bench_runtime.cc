@@ -53,6 +53,18 @@ SimConfig Config(SchemeKind kind, std::uint64_t seed, RuntimeBackend backend) {
   return c;
 }
 
+/// The faulted rows: same workload under a crash/restart of the last
+/// node with WAL group-commit durability — the recovery path's digests
+/// must ALSO be bit-identical across backends. Rows carry fault_plan
+/// ("crash") so diff_digests.py groups them apart from the clean rows.
+SimConfig FaultedConfig(SchemeKind kind, std::uint64_t seed,
+                        RuntimeBackend backend) {
+  SimConfig c = Config(kind, seed, backend);
+  c.fault_crash_cycle = true;
+  c.durability = DurabilityMode::kGroup;
+  return c;
+}
+
 obs::Json RuntimeRow(const SimConfig& config, const SimOutcome& out) {
   obs::Json row = ReportRow(config, out);
   row.Set("backend", BackendName(config.backend));
@@ -115,13 +127,42 @@ int Main() {
     }
   }
 
+  // Faulted rows: crash/recovery under WAL group commit, two seeds per
+  // scheme. diff_digests.py compares them within the "crash" fault
+  // plan; a recovered cluster must drain to the same digests on both
+  // backends.
+  for (SchemeKind kind : kAll) {
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}}) {
+      SimOutcome sim_out =
+          RunScheme(FaultedConfig(kind, seed, RuntimeBackend::kSim));
+      SimOutcome thr_out =
+          RunScheme(FaultedConfig(kind, seed, RuntimeBackend::kThreads));
+      bool equal = sim_out.state_digest == thr_out.state_digest &&
+                   sim_out.shard_digests == thr_out.shard_digests &&
+                   sim_out.committed == thr_out.committed;
+      if (!equal) ++mismatches;
+      std::printf("%22s | %5llu | %10.2f | %16s | %8llu | crash+wal%s\n",
+                  std::string(SchemeKindName(kind)).c_str(),
+                  (unsigned long long)seed, thr_out.Rate(thr_out.committed),
+                  Hex(thr_out.state_digest).c_str(),
+                  (unsigned long long)thr_out.runtime_dispatched,
+                  equal ? "" : "  << MISMATCH");
+      report.AddRow(
+          RuntimeRow(FaultedConfig(kind, seed, RuntimeBackend::kSim),
+                     sim_out));
+      report.AddRow(
+          RuntimeRow(FaultedConfig(kind, seed, RuntimeBackend::kThreads),
+                     thr_out));
+    }
+  }
+
   std::printf(
       "\n%llu mismatches across %zu (scheme, seed) pairs x 2 backends.\n"
       "The thread backend executes the identical virtual-time event\n"
       "order (turn-based over per-node worker threads), so every digest\n"
       "column above must match the sim oracle's bit for bit.\n",
       (unsigned long long)mismatches,
-      std::size(kAll) * std::size(kSeeds));
+      std::size(kAll) * (std::size(kSeeds) + 2));
 
   WriteReport(report, "BENCH_runtime.json");
   if (mismatches > 0) {

@@ -6,6 +6,7 @@
 #include "fault/invariant_checker.h"
 #include "obs/timeseries.h"
 #include "replication/driver.h"
+#include "util/logging.h"
 
 namespace tdr::bench {
 
@@ -67,6 +68,13 @@ SimOutcome RunScheme(const SimConfig& config) {
   copts.enable_metrics = config.enable_metrics;
   copts.backend = config.backend;
   copts.time_scale = config.time_scale;
+  copts.wal.mode = config.durability;
+  copts.wal.wal_dir = config.wal_dir;
+  copts.wal.flush_latency = SimTime::Seconds(config.wal_flush_latency);
+  copts.wal.group_window = SimTime::Seconds(config.wal_group_window);
+  copts.wal.group_max_records =
+      static_cast<std::size_t>(config.wal_group_max_records);
+  copts.wal.segment_bytes = config.wal_segment_bytes;
   Cluster cluster(copts);
 
   BatchShipper::Options batch;
@@ -78,8 +86,9 @@ SimOutcome RunScheme(const SimConfig& config) {
   for (std::uint32_t i = 0; i < config.nodes; ++i) all_nodes[i] = i;
   Ownership ownership = Ownership::RoundRobin(config.db_size, all_nodes);
 
-  const bool faulted =
-      config.fault_drop_probability > 0 || config.fault_partition_cycle;
+  const bool faulted = config.fault_drop_probability > 0 ||
+                       config.fault_partition_cycle ||
+                       config.fault_crash_cycle;
 
   std::unique_ptr<ReplicationScheme> scheme;
   LazyGroupScheme* lazy_group = nullptr;
@@ -143,6 +152,15 @@ SimOutcome RunScheme(const SimConfig& config) {
                        {static_cast<NodeId>(config.nodes - 1)})
           .HealPartitionAt(SimTime::Seconds(2 * config.sim_seconds / 3),
                            "cycle");
+    }
+    if (config.fault_crash_cycle && config.nodes > 1) {
+      // Crash the last node for the middle third; restart routes
+      // through Cluster::recovery() — WAL replay under kCommit/kGroup,
+      // the legacy durable-store model under kOff.
+      plan.CrashAt(SimTime::Seconds(config.sim_seconds / 3),
+                   static_cast<NodeId>(config.nodes - 1))
+          .RestartAt(SimTime::Seconds(2 * config.sim_seconds / 3),
+                     static_cast<NodeId>(config.nodes - 1));
     }
     injector = std::make_unique<fault::FaultInjector>(&cluster, plan,
                                                       Rng(config.seed, 777));
@@ -237,6 +255,13 @@ SimOutcome RunScheme(const SimConfig& config) {
     outcome.updates_coalesced =
         lazy_master->batch_shipper()->updates_coalesced();
   }
+  if (cluster.wals() != nullptr) {
+    const wal::WalMetrics& wm = cluster.wals()->wal_metrics();
+    outcome.wal_records = wm.records_appended.value();
+    outcome.wal_flushes = wm.flushes.value();
+  }
+  outcome.wal_recoveries = cluster.recovery().recoveries();
+  outcome.wal_replayed = cluster.recovery().records_replayed();
   // Equivalence fingerprints: the full-state digest plus per-shard
   // digests, captured after any drain so both backends see the same
   // quiesced state.
@@ -342,8 +367,27 @@ obs::RunReport MakeReport(std::string experiment, const SimConfig& config) {
       .SetConfig("batch_flush_window", config.batch_flush_window)
       .SetConfig("batch_max_updates", config.batch_max_updates)
       .SetConfig("hot_fraction", config.hot_fraction)
-      .SetConfig("hot_shards", static_cast<std::uint64_t>(config.hot_shards));
+      .SetConfig("hot_shards", static_cast<std::uint64_t>(config.hot_shards))
+      .SetConfig("durability", DurabilityModeName(config.durability))
+      .SetConfig("wal_flush_latency", config.wal_flush_latency)
+      .SetConfig("wal_group_window", config.wal_group_window)
+      .SetConfig("wal_group_max_records", config.wal_group_max_records);
   return report;
+}
+
+std::string FaultPlanName(const SimConfig& config) {
+  std::string name;
+  auto append = [&name](const std::string& part) {
+    if (!name.empty()) name += '+';
+    name += part;
+  };
+  if (config.fault_drop_probability > 0) {
+    append(StrPrintf("drop=%g", config.fault_drop_probability));
+  }
+  if (config.fault_partition_cycle) append("partition");
+  if (config.fault_crash_cycle) append("crash");
+  if (name.empty()) name = "none";
+  return name;
 }
 
 obs::Json ReportRow(const SimConfig& config, const SimOutcome& out) {
@@ -359,6 +403,17 @@ obs::Json ReportRow(const SimConfig& config, const SimOutcome& out) {
   row.Set("reconciliation_rate", out.reconciliation_rate());
   row.Set("unavailable", out.unavailable);
   row.Set("divergent_slots", out.divergent_slots);
+  // Fault-plan digest channel: every row names its plan (satellite of
+  // the cross-backend diff — tools/diff_digests.py groups on it) and,
+  // when faulted, carries the equivalence fingerprints.
+  row.Set("fault_plan", FaultPlanName(config));
+  if (config.durability != DurabilityMode::kOff) {
+    row.Set("durability", DurabilityModeName(config.durability));
+    row.Set("wal_records", out.wal_records);
+    row.Set("wal_flushes", out.wal_flushes);
+    row.Set("wal_recoveries", out.wal_recoveries);
+    row.Set("wal_replayed", out.wal_replayed);
+  }
   if (config.num_shards > 1) {
     row.Set("num_shards", static_cast<std::uint64_t>(config.num_shards));
   }

@@ -65,13 +65,27 @@ struct SimConfig {
   /// varies the cluster's num_shards.
   std::uint32_t skew_shards = 0;
 
-  // Fault injection (src/fault). When either knob is set, the run
+  // Fault injection (src/fault). When any knob is set, the run
   // executes under a deterministic FaultPlan with the invariant checker
   // armed; an unacknowledged invariant violation aborts the benchmark
   // (the robustness gate). The fault RNG stream is independent of the
   // workload stream, so a faulted run is replayable from (seed, knobs).
   double fault_drop_probability = 0.0;  // per-message drop rate
   bool fault_partition_cycle = false;   // one partition/heal mid-window
+  /// Crash the last node at sim_seconds/3 and restart it at
+  /// 2*sim_seconds/3 — the WAL recovery scenario (works under kOff too,
+  /// exercising the legacy durable-store model).
+  bool fault_crash_cycle = false;
+
+  // Durability / WAL (src/wal). kOff keeps the legacy crash model;
+  // kCommit/kGroup put a per-node WAL under the commit path and route
+  // crash recovery through it.
+  DurabilityMode durability = DurabilityMode::kOff;
+  double wal_flush_latency = 0.0005;  // seconds per simulated fsync
+  double wal_group_window = 0.00025;  // group-commit window (seconds)
+  std::uint64_t wal_group_max_records = 64;
+  std::uint64_t wal_segment_bytes = 64 * 1024;
+  std::string wal_dir;  // empty = in-memory WAL backend
 
   /// If false the cluster is built with no metrics registry: every
   /// handle is a no-op. This is the baseline bench_headline uses to
@@ -116,6 +130,10 @@ struct SimOutcome {
   std::uint64_t injected_drops = 0;   // messages lost to fault injection
   std::uint64_t invariant_violations = 0;  // always 0 unless aborted
   std::uint64_t delusion_slots = 0;   // lazy-group unrepairable divergence
+  std::uint64_t wal_records = 0;      // WAL records appended (all nodes)
+  std::uint64_t wal_flushes = 0;      // WAL flush (fsync) events
+  std::uint64_t wal_recoveries = 0;   // crash recoveries performed
+  std::uint64_t wal_replayed = 0;     // records replayed by recovery
   /// Order-sensitive digest of every node's store (values + virtual
   /// timestamps) at the end of the run — the cross-backend equivalence
   /// fingerprint.
@@ -146,6 +164,12 @@ struct SimOutcome {
 /// Runs the uniform open-loop workload under `config` and returns the
 /// measured rates.
 SimOutcome RunScheme(const SimConfig& config);
+
+/// Canonical name of the fault plan `config` runs under ("none" when
+/// clean, else e.g. "drop=0.05+partition+crash"). Report rows carry it
+/// so tools/diff_digests.py compares faulted runs only against the
+/// same faulted runs on the other backend.
+std::string FaultPlanName(const SimConfig& config);
 
 /// Options for a parallel sweep of independent simulation runs.
 struct SweepOptions {

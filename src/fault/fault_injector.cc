@@ -89,7 +89,10 @@ void FaultInjector::Separate(NodeId a, NodeId b, int delta) {
 
 void FaultInjector::Crash(NodeId node) {
   if (cluster_->node(node)->crashed()) return;
-  cluster_->net().Crash(node);
+  // Single seam: the RecoveryManager dispatches on the cluster's
+  // durability mode (legacy pass-through under kOff, WAL crash model
+  // otherwise), so fault plans run unchanged against any mode.
+  cluster_->recovery().Crash(node);
   crashed_by_us_.push_back(node);
   Log(StrPrintf("crash node=%u", node));
   cluster_->metrics().Increment("fault.crashes");
@@ -97,7 +100,7 @@ void FaultInjector::Crash(NodeId node) {
 
 void FaultInjector::Restart(NodeId node) {
   if (!cluster_->node(node)->crashed()) return;
-  cluster_->net().Restart(node);
+  cluster_->recovery().Restart(node);
   crashed_by_us_.erase(
       std::remove(crashed_by_us_.begin(), crashed_by_us_.end(), node),
       crashed_by_us_.end());

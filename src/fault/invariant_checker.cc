@@ -41,6 +41,7 @@ InvariantChecker::InvariantChecker(Cluster* cluster, Options options)
   for (NodeId id = 0; id < cluster_->size(); ++id) {
     last_ts_[id].assign(cluster_->options().db_size, Timestamp::Zero());
   }
+  wipe_epoch_seen_.assign(cluster_->size(), 0);
 }
 
 InvariantChecker::~InvariantChecker() {
@@ -93,7 +94,20 @@ void InvariantChecker::CheckFinal() {
 }
 
 void InvariantChecker::CheckMonotoneTimestamps() {
+  // Under DurabilityMode::kOff stores are durable across crashes (the
+  // legacy model), so a crashed node's state stays visible and checked.
+  const bool wal = cluster_->recovery().wal_enabled();
   for (NodeId id = 0; id < cluster_->size(); ++id) {
+    // A WAL-mode crash wipes the store; recovery replays an older
+    // durable prefix. That rewind is legitimate exactly once per wipe:
+    // reset the watermarks when the epoch moves, and skip nodes that
+    // are down (their wiped state is not externally visible).
+    const std::uint64_t epoch = cluster_->recovery().wipe_epoch(id);
+    if (epoch != wipe_epoch_seen_[id]) {
+      wipe_epoch_seen_[id] = epoch;
+      last_ts_[id].assign(last_ts_[id].size(), Timestamp::Zero());
+    }
+    if (wal && cluster_->node(id)->crashed()) continue;
     const ObjectStore& store = cluster_->node(id)->store();
     std::vector<Timestamp>& last = last_ts_[id];
     for (ObjectId oid = 0; oid < store.size(); ++oid) {
@@ -113,10 +127,12 @@ void InvariantChecker::CheckTimestampValueAgreement() {
   // A commit timestamp identifies exactly one write (Lamport timestamps
   // are unique per writer), so two replicas at the same (oid, ts) must
   // agree on the value.
+  const bool wal = cluster_->recovery().wal_enabled();
   const std::uint64_t db = cluster_->options().db_size;
   for (ObjectId oid = 0; oid < db; ++oid) {
     std::map<Timestamp, std::pair<NodeId, const StoredObject*>> seen;
     for (NodeId id = 0; id < cluster_->size(); ++id) {
+      if (wal && cluster_->node(id)->crashed()) continue;  // wiped
       const StoredObject& obj = cluster_->node(id)->store().GetUnchecked(oid);
       auto [it, inserted] = seen.emplace(obj.ts, std::make_pair(id, &obj));
       if (!inserted && !(it->second.second->value == obj.value)) {
@@ -135,13 +151,18 @@ void InvariantChecker::CheckTimestampValueAgreement() {
 void InvariantChecker::CheckMasterDominance() {
   // "Only the master can update the primary copy": a replica can lag
   // its master but never lead it.
+  const bool wal = cluster_->recovery().wal_enabled();
   const std::uint64_t db = cluster_->options().db_size;
   for (ObjectId oid = 0; oid < db; ++oid) {
     const NodeId owner = options_.ownership->OwnerOf(oid);
+    // A crashed master's wiped store legitimately lags its replicas
+    // until restart recovery catches it up; skip until then.
+    if (wal && cluster_->node(owner)->crashed()) continue;
     const Timestamp master_ts =
         cluster_->node(owner)->store().GetUnchecked(oid).ts;
     for (NodeId id = 0; id < cluster_->size(); ++id) {
       if (id == owner) continue;
+      if (wal && cluster_->node(id)->crashed()) continue;
       const Timestamp ts = cluster_->node(id)->store().GetUnchecked(oid).ts;
       if (ts > master_ts) {
         Report("single-master-dominance",

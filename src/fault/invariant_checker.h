@@ -147,6 +147,10 @@ class InvariantChecker {
   sim::EventId sweep_series_ = sim::kInvalidEventId;
   // Last observed timestamp per (node, object), for monotonicity.
   std::vector<std::vector<Timestamp>> last_ts_;
+  // RecoveryManager wipe epoch at the last sweep: when it moves, the
+  // node's store was legitimately wiped by a WAL-mode crash and its
+  // monotonicity watermarks reset (recovery replays an old prefix).
+  std::vector<std::uint64_t> wipe_epoch_seen_;
   std::vector<Violation> violations_;
   std::uint64_t violations_total_ = 0;
   std::uint64_t delusion_slots_ = 0;

@@ -236,6 +236,16 @@ void Network::Restart(NodeId node) {
   SetConnected(node, true);
 }
 
+void Network::DiscardOutbox(NodeId node) {
+  assert(node < nodes_.size());
+  std::size_t lost = static_cast<std::size_t>(outbox_[node].count);
+  if (lost > 0) {
+    dropped_ += lost;
+    m_dropped_.Increment(lost);
+    Discard(outbox_[node]);
+  }
+}
+
 std::size_t Network::HeldCount() const {
   std::size_t total = 0;
   for (const MsgQueue& q : held_) {

@@ -159,6 +159,13 @@ class Network {
   /// reconnect hooks, e.g. quorum catch-up).
   void Restart(NodeId node);
 
+  /// Discards the node's queued outbound messages. The default crash
+  /// model treats the outbox as a durable log and keeps it; under WAL
+  /// durability modes the RecoveryManager calls this at crash — unsent
+  /// messages are volatile state, and recovery replays from the WAL
+  /// instead.
+  void DiscardOutbox(NodeId node);
+
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
   std::uint64_t messages_queued() const { return queued_; }

@@ -24,6 +24,17 @@ Cluster::Cluster(Options options)
   net_ = std::make_unique<Network>(rt_, node_ptrs(), options_.net,
                                    metrics_or_null());
   exec_ = std::make_unique<Executor>(rt_, node_ptrs(), metrics_or_null());
+  if (options_.wal.mode != DurabilityMode::kOff) {
+    // The torn-tail RNG stream is consumed only at crash events, so
+    // clean runs are unaffected by its existence.
+    wals_ = std::make_unique<wal::WalSet>(rt_, options_.num_nodes, &shards_,
+                                          options_.wal,
+                                          Rng(options_.seed, /*stream=*/911),
+                                          metrics_or_null());
+    exec_->set_durability(wals_.get());
+  }
+  recovery_ = std::make_unique<wal::RecoveryManager>(node_ptrs(), net_.get(),
+                                                     wals_.get());
 }
 
 std::vector<Node*> Cluster::node_ptrs() {

@@ -16,6 +16,8 @@
 #include "txn/wait_for_graph.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "wal/recovery_manager.h"
+#include "wal/wal_set.h"
 
 namespace tdr {
 
@@ -58,6 +60,12 @@ class Cluster {
     RuntimeBackend backend = RuntimeBackend::kSim;
     /// kThreads only: wall-seconds per sim-second pacing (0 free-runs).
     double time_scale = 0;
+    /// Per-node write-ahead logging (src/wal). kOff keeps the legacy
+    /// crash model (durable stores, outbox-as-log); kCommit/kGroup add
+    /// a WAL under the executor's commit path and route crash/restart
+    /// through WAL recovery. `wal.mode` is the switch; the other fields
+    /// tune flush latency, the group-commit window, and segmenting.
+    wal::WalSet::Options wal;
   };
 
   explicit Cluster(Options options);
@@ -75,6 +83,11 @@ class Cluster {
   runtime::ThreadRuntime* thread_runtime() { return thread_rt_.get(); }
   Network& net() { return *net_; }
   Executor& executor() { return *exec_; }
+  /// The write-ahead logs, or null when options().wal.mode == kOff.
+  wal::WalSet* wals() { return wals_.get(); }
+  /// The crash/restart seam (always present; pass-through when WAL is
+  /// off). FaultInjector and tests route Crash/Restart through this.
+  wal::RecoveryManager& recovery() { return *recovery_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   /// The registry to hand to components: null when metrics are off.
@@ -133,6 +146,8 @@ class Cluster {
   runtime::Runtime* rt_ = nullptr;  // &sim_, or thread_rt_.get()
   std::unique_ptr<Network> net_;
   std::unique_ptr<Executor> exec_;
+  std::unique_ptr<wal::WalSet> wals_;  // null when wal.mode == kOff
+  std::unique_ptr<wal::RecoveryManager> recovery_;
 };
 
 }  // namespace tdr

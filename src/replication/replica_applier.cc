@@ -172,10 +172,12 @@ void ReplicaApplier::ApplyCurrent(Job* job) {
   const UpdateRecord& rec = job->records[job->idx];
   Node* node = job->node;
   node->clock().Observe(rec.new_ts);
+  bool installed = false;
   if (job->options.mode == Mode::kTimestampMatch) {
     Status s = node->store().ApplyIfTimestampMatches(rec.oid, rec.new_value,
                                                      rec.old_ts, rec.new_ts);
     if (s.ok()) {
+      installed = true;
       ++job->report.applied;
       m_applied_.Increment();
       if (trace_ != nullptr) {
@@ -202,6 +204,7 @@ void ReplicaApplier::ApplyCurrent(Job* job) {
     assert(s.ok());
     (void)s;
     if (applied) {
+      installed = true;
       ++job->report.applied;
       m_applied_.Increment();
       if (trace_ != nullptr) {
@@ -212,6 +215,17 @@ void ReplicaApplier::ApplyCurrent(Job* job) {
       ++job->report.stale;
       m_stale_.Increment();
       Emit(TraceEventType::kReplicaStale, *job, rec.oid);
+    }
+  }
+  // Replica installs must survive a crash just like local commits: log
+  // every write that actually changed the store. No durability wait —
+  // the apply already happened at the origin's commit; here the group
+  // committer's window flushes the append in bounded time.
+  if (installed) {
+    DurabilityHook* durability = executor_->durability();
+    if (durability != nullptr && durability->Enabled(node->id())) {
+      durability->LogWrite(node->id(), rec.txn, rec.oid, rec.old_ts,
+                           rec.new_ts, rec.new_value);
     }
   }
   ++job->idx;

@@ -152,4 +152,10 @@ std::vector<ObjectId> ObjectStore::DiffAgainst(
   return diff;
 }
 
+void ObjectStore::ResetToZero() {
+  for (StoredObject& obj : objects_) {
+    obj = StoredObject{};
+  }
+}
+
 }  // namespace tdr

@@ -109,6 +109,12 @@ class ObjectStore {
   /// Ids of objects whose value differs from `other` (diagnostics).
   std::vector<ObjectId> DiffAgainst(const ObjectStore& other) const;
 
+  /// Crash model (WAL durability modes): volatile memory is gone —
+  /// every object back to scalar zero at Timestamp::Zero(), exactly the
+  /// as-constructed state. Capacity is retained; recovery replays the
+  /// durable WAL prefix on top.
+  void ResetToZero();
+
  private:
   std::uint64_t DigestRange(ObjectId begin, ObjectId end) const;
 

@@ -417,18 +417,78 @@ void Executor::Commit(Inflight* t) {
   }
   // Stamp the pre-built update records with the real commit timestamp.
   if (t->opts.record_updates) BuildUpdateRecords(t, commit_ts);
-  for (NodeId nid : t->touched_nodes) {
-    node(nid)->locks().ReleaseAll(t->id);
+  // WAL path: log every installed write at its node, then hold locks
+  // (and the caller's `done`) until each touched log reports the
+  // records durable. The buffer is (node, oid)-sorted, so node runs
+  // are contiguous — one durability wait per written node.
+  std::uint32_t waits = 0;
+  if (durability_ != nullptr && !t->buffer.empty()) {
+    for (std::size_t i = 0; i < t->buffer.size();) {
+      const NodeId nid = t->buffer[i].node;
+      const bool enabled = durability_->Enabled(nid);
+      for (; i < t->buffer.size() && t->buffer[i].node == nid; ++i) {
+        if (!enabled) continue;
+        const WriteEntry& e = t->buffer[i];
+        const Timestamp* observed = FindObserved(t, nid, e.oid);
+        durability_->LogWrite(
+            nid, t->id, e.oid,
+            observed != nullptr ? *observed : Timestamp::Zero(), commit_ts,
+            e.value);
+      }
+      if (enabled) ++waits;
+    }
   }
+  if (waits == 0) {
+    // No durability to wait on: the pre-WAL commit tail, verbatim.
+    for (NodeId nid : t->touched_nodes) {
+      node(nid)->locks().ReleaseAll(t->id);
+    }
+    t->result.outcome = TxnOutcome::kCommitted;
+    t->result.end_time = sim_->Now();
+    ++committed_;
+    m_committed_.Increment();
+    if (trace_ != nullptr) {
+      Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
+           StrPrintf("ts=%s", commit_ts.ToString().c_str()));
+    }
+    Finish(t);
+    return;
+  }
+  // The transaction is committed the instant its writes are installed;
+  // durability only gates completion (and thus lock release).
   t->result.outcome = TxnOutcome::kCommitted;
-  t->result.end_time = sim_->Now();
   ++committed_;
   m_committed_.Increment();
   if (trace_ != nullptr) {
     Emit(TraceEventType::kTxnCommit, t, t->origin, 0,
          StrPrintf("ts=%s", commit_ts.ToString().c_str()));
   }
+  t->pending_durability = waits;
+  const TxnId id = t->id;
+  for (std::size_t i = 0; i < t->buffer.size();) {
+    const NodeId nid = t->buffer[i].node;
+    while (i < t->buffer.size() && t->buffer[i].node == nid) ++i;
+    if (!durability_->Enabled(nid)) continue;
+    durability_->RequestCommitDurability(
+        nid, [this, t, id]() { OnDurable(t, id); });
+  }
+}
+
+void Executor::CompleteCommit(Inflight* t) {
+  for (NodeId nid : t->touched_nodes) {
+    node(nid)->locks().ReleaseAll(t->id);
+  }
+  t->result.end_time = sim_->Now();
   Finish(t);
+}
+
+void Executor::OnDurable(Inflight* t, TxnId id) {
+  // Ids are never reused, so a recycled slot cannot be mistaken for the
+  // transaction that parked here (mirrors the step continuations).
+  if (t->id != id) return;
+  assert(t->pending_durability > 0);
+  if (--t->pending_durability > 0) return;
+  CompleteCommit(t);
 }
 
 void Executor::Abort(Inflight* t, TxnOutcome outcome) {

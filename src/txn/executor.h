@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "storage/update_log.h"
+#include "txn/durability.h"
 #include "txn/node.h"
 #include "txn/op.h"
 #include "txn/program.h"
@@ -196,6 +197,14 @@ class Executor {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
 
+  /// Attaches the write-ahead-log seam (may be null — the default —
+  /// for no durability). With a hook installed, Commit() logs every
+  /// installed write to the touched node's WAL and defers lock release
+  /// and completion until every touched log acknowledges durability.
+  /// Not owned.
+  void set_durability(DurabilityHook* hook) { durability_ = hook; }
+  DurabilityHook* durability() const { return durability_; }
+
   std::uint64_t committed() const { return committed_; }
   std::uint64_t deadlocked() const { return deadlocked_; }
   std::uint64_t rejected() const { return rejected_; }
@@ -234,6 +243,9 @@ class Executor {
     std::vector<ObservedEntry> observed_ts;  // sorted by (node, oid)
     std::vector<NodeId> touched_nodes;     // sorted
     SimTime wait_started;
+    /// Durability acks still outstanding (WAL commit path); locks
+    /// release and `done` fires when this reaches zero.
+    std::uint32_t pending_durability = 0;
     TxnResult result;
   };
 
@@ -257,6 +269,8 @@ class Executor {
   void ApplyQuorumStep(Inflight* t);
   void BuildUpdateRecords(Inflight* t, Timestamp commit_ts);
   void Commit(Inflight* t);
+  void CompleteCommit(Inflight* t);
+  void OnDurable(Inflight* t, TxnId id);
   void Abort(Inflight* t, TxnOutcome outcome);
   void Finish(Inflight* t);
   void Emit(TraceEventType type, const Inflight* t, NodeId node,
@@ -276,6 +290,7 @@ class Executor {
   obs::MetricsRegistry::HistogramHandle m_wait_micros_;
   obs::MetricsRegistry::StatsHandle m_profile_acquire_;
   TraceSink* trace_ = nullptr;
+  DurabilityHook* durability_ = nullptr;
   // Inflight pool: stable addresses (unique_ptr slots), recycled
   // through a free list; vectors inside keep capacity across reuse.
   std::vector<std::unique_ptr<Inflight>> pool_;

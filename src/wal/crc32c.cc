@@ -1,0 +1,39 @@
+#include "wal/crc32c.h"
+
+namespace tdr::wal {
+
+namespace {
+
+struct Table {
+  std::uint32_t t[256];
+  constexpr Table() : t{} {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+constexpr Table kTable;
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable.t[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace tdr::wal

@@ -1,0 +1,23 @@
+#ifndef TDR_WAL_CRC32C_H_
+#define TDR_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdr::wal {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78)
+/// — the checksum used per WAL record. Software table implementation;
+/// the WAL's simulated-flush data volumes never make this a hot path,
+/// and a table variant is bit-identical everywhere (no SSE4.2
+/// dependency). Standard check value: Crc32c("123456789") == 0xE3069283.
+std::uint32_t Crc32c(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc` the result of a previous call to extend
+/// the checksum over split buffers.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+}  // namespace tdr::wal
+
+#endif  // TDR_WAL_CRC32C_H_

@@ -1,0 +1,77 @@
+#include "wal/wal.h"
+
+#include <cassert>
+
+namespace tdr::wal {
+
+Wal::Wal(NodeId node, WalBackend* backend, Options options)
+    : node_(node), backend_(backend), options_(options) {
+  pending_.reserve(4096);
+  header_scratch_.reserve(kSegmentHeaderSize);
+}
+
+void Wal::Open(std::uint64_t next_lsn) {
+  assert(next_lsn >= 1);
+  next_lsn_ = next_lsn;
+  appended_lsn_ = next_lsn - 1;
+  durable_lsn_ = next_lsn - 1;
+  pending_.clear();
+  pending_records_ = 0;
+  OpenSegment(backend_->SegmentCount(node_));
+}
+
+void Wal::OpenSegment(std::uint32_t segment) {
+  segment_ = segment;
+  file_ = backend_->Create(node_, segment);
+  header_scratch_.clear();
+  EncodeSegmentHeader(node_, segment, &header_scratch_);
+  // The header rides to durability with the first flush's sync; a crash
+  // before that leaves a headerless torn segment, which recovery treats
+  // as empty.
+  file_->Append(header_scratch_.data(), header_scratch_.size());
+}
+
+std::uint64_t Wal::Append(TxnId txn, ObjectId oid, ShardId shard,
+                          const Timestamp& old_ts, const Timestamp& new_ts,
+                          const Value& value) {
+  assert(open() && "append to a crashed writer");
+  const std::uint64_t lsn = next_lsn_++;
+  AppendRecord(lsn, txn, oid, shard, old_ts, new_ts, value, &pending_);
+  ++pending_records_;
+  appended_lsn_ = lsn;
+  return lsn;
+}
+
+std::uint64_t Wal::BeginFlush() {
+  assert(open());
+  if (!pending_.empty()) {
+    // Entering a flush the file is fully synced (flushes are
+    // serialized), so a rolled-away segment is durable end to end —
+    // only the newest segment can ever be torn.
+    if (file_->size() + pending_.size() > options_.segment_bytes &&
+        file_->size() > kSegmentHeaderSize) {
+      assert(file_->synced_size() == file_->size());
+      OpenSegment(segment_ + 1);
+    }
+    file_->Append(pending_.data(), pending_.size());
+    pending_.clear();  // capacity retained
+    pending_records_ = 0;
+  }
+  return appended_lsn_;
+}
+
+void Wal::CompleteFlush(std::uint64_t target_lsn) {
+  assert(open());
+  file_->Sync();
+  assert(target_lsn >= durable_lsn_);
+  durable_lsn_ = target_lsn;
+}
+
+void Wal::DropPending() {
+  pending_.clear();
+  pending_records_ = 0;
+}
+
+void Wal::CloseForCrash() { file_.reset(); }
+
+}  // namespace tdr::wal

@@ -1,0 +1,46 @@
+#include "wal/wal_recovery.h"
+
+namespace tdr::wal {
+
+RecoveryResult WalRecovery::Recover(NodeId node, const ApplyFn& apply) {
+  RecoveryResult result;
+  std::uint64_t expected_lsn = 1;
+  const std::uint32_t segments = backend_->SegmentCount(node);
+  WalRecord record;
+  for (std::uint32_t seg = 0; seg < segments; ++seg) {
+    if (!backend_->ReadSegment(node, seg, &buf_)) break;
+    ++result.segments_read;
+    if (!CheckSegmentHeader(buf_.data(), buf_.size(), node, seg)) {
+      // A crash can tear even the (unsynced) header of a freshly rolled
+      // segment. The whole segment is tail: drop it and stop.
+      result.torn_tail = true;
+      result.bytes_truncated += buf_.size();
+      backend_->TruncateSegment(node, seg, 0);
+      break;
+    }
+    std::size_t offset = kSegmentHeaderSize;
+    bool clean_end = true;
+    while (offset < buf_.size()) {
+      const std::size_t consumed =
+          DecodeRecord(buf_.data() + offset, buf_.size() - offset, &record);
+      if (consumed == 0 || record.lsn != expected_lsn) {
+        clean_end = false;
+        break;
+      }
+      apply(record);
+      ++result.records_replayed;
+      ++expected_lsn;
+      offset += consumed;
+    }
+    if (!clean_end) {
+      result.torn_tail = true;
+      result.bytes_truncated += buf_.size() - offset;
+      backend_->TruncateSegment(node, seg, offset);
+      break;  // anything past a torn segment is unreachable history
+    }
+  }
+  result.next_lsn = expected_lsn;
+  return result;
+}
+
+}  // namespace tdr::wal

@@ -1,0 +1,51 @@
+#ifndef TDR_WAL_WAL_RECOVERY_H_
+#define TDR_WAL_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/types.h"
+#include "wal/wal_file.h"
+#include "wal/wal_format.h"
+
+namespace tdr::wal {
+
+struct RecoveryResult {
+  /// Committed records replayed through the apply callback.
+  std::uint64_t records_replayed = 0;
+  /// Segments visited (including a final torn one).
+  std::uint32_t segments_read = 0;
+  /// Bytes cut off the torn tail (0 when the log ended clean).
+  std::uint64_t bytes_truncated = 0;
+  /// True iff a torn tail was found (crash mid-flush).
+  bool torn_tail = false;
+  /// LSN the writer should continue from.
+  std::uint64_t next_lsn = 1;
+};
+
+/// Replays a node's WAL from its backend, in segment order, stopping at
+/// the first invalid record — a torn tail from a crash mid-flush, or
+/// bit rot. The torn tail is physically truncated off the segment, so
+/// a SECOND crash/recovery cycle sees every surviving segment end
+/// clean and never mistakes an old partial record for the end of the
+/// log. LSNs must be contiguous from 1 across segments; a gap is
+/// treated as corruption at that point.
+class WalRecovery {
+ public:
+  using ApplyFn = std::function<void(const WalRecord&)>;
+
+  explicit WalRecovery(WalBackend* backend) : backend_(backend) {}
+
+  /// Replays `node`'s log through `apply` (in LSN order) and truncates
+  /// the torn tail, if any.
+  RecoveryResult Recover(NodeId node, const ApplyFn& apply);
+
+ private:
+  WalBackend* backend_;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace tdr::wal
+
+#endif  // TDR_WAL_WAL_RECOVERY_H_

@@ -181,6 +181,57 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// The WAL commit path — record encode into the pending buffer, waiter
+// parking, group-commit flush scheduling, sync completion — must be as
+// allocation-free in steady state as the transaction machinery it
+// rides on. Same two-window protocol and budgets as above.
+TEST(WalSteadyStateAllocTest, SecondWindowAllocatesNothing) {
+  if (!AllocAuditLinked()) {
+    GTEST_SKIP() << "tdr_alloc_audit hooks not linked";
+  }
+  Cluster::Options copts = BaseOptions();
+  copts.enable_metrics = false;
+  copts.wal.mode = DurabilityMode::kGroup;
+  // Segments big enough that the measured windows never roll: a roll is
+  // O(total bytes / segment bytes) capacity growth, not per-commit
+  // work, and MemWalBackend reserves each segment's buffer up front.
+  copts.wal.segment_bytes = 32ull << 20;
+  Cluster cluster(copts);
+  EagerGroupScheme scheme(&cluster);
+
+  ProgramGenerator::Options gopts;
+  gopts.db_size = kDbSize;
+  gopts.actions = 4;
+  ProgramGenerator gen(gopts);
+  Rng rng = cluster.ForkRng();
+  Program scratch;
+
+  PumpTransactions(cluster, &scheme, gen, rng, scratch, 4000);
+
+  if (const char* trace = std::getenv("TDR_TRACE_ALLOCS")) {
+    TraceNextAllocations(std::atoll(trace));
+  }
+  AllocScope window_1x;
+  PumpTransactions(cluster, &scheme, gen, rng, scratch, 400);
+  std::uint64_t allocs_1x = window_1x.allocations();
+
+  AllocScope window_4x;
+  PumpTransactions(cluster, &scheme, gen, rng, scratch, 1600);
+  std::uint64_t allocs_4x = window_4x.allocations();
+
+  // The windows really went through the log: every node appended and
+  // synced records.
+  for (NodeId id = 0; id < kNodes; ++id) {
+    EXPECT_GT(cluster.wals()->wal(id)->durable_lsn(), 0u);
+  }
+  EXPECT_LE(allocs_1x, 12u)
+      << "1600-txn WAL steady-state window allocated " << allocs_1x
+      << " times (" << window_1x.bytes() << " bytes)";
+  EXPECT_LE(allocs_4x, 48u)
+      << "6400-txn WAL steady-state window allocated " << allocs_4x
+      << " times (" << window_4x.bytes() << " bytes)";
+}
+
 // A disconnected origin's replica updates park in its outbox as pooled
 // payload leases. Crash discards the inbox copy of its traffic; the
 // outbox (the durable log) survives and Restart re-ships it. The leases

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Cross-backend digest differ for BENCH_runtime.json (E15).
 
-Groups a tdr.run_report.v1 report's rows by (scheme, seed) and requires
-every backend's state_digest and shard_digests to be identical within a
-group — the sim-as-oracle equivalence property, re-checked from the
-report artifact alone so CI validates the whole pipeline (run ->
-report -> artifact), not just the in-process comparison.
+Groups a tdr.run_report.v1 report's rows by (scheme, seed, fault_plan)
+and requires every backend's state_digest and shard_digests to be
+identical within a group — the sim-as-oracle equivalence property,
+re-checked from the report artifact alone so CI validates the whole
+pipeline (run -> report -> artifact), not just the in-process
+comparison. The fault_plan axis keeps faulted rows (crash/recovery,
+chaos drops) compared only against the same fault plan on the other
+backend; rows without the field compare as plan "none".
 
 Usage:
   diff_digests.py BENCH_runtime.json [more_reports.json ...]
 
-Exits nonzero listing every mismatching (scheme, seed) group; prints
-one OK line per clean file. No third-party dependencies.
+Exits nonzero listing every mismatching (scheme, seed, fault_plan)
+group; prints one OK line per clean file. No third-party dependencies.
 """
 
 import json
@@ -32,29 +35,31 @@ def check_file(path):
             return [f"{path}: rows[{i}] missing 'backend'"]
         if "state_digest" not in row:
             return [f"{path}: rows[{i}] missing 'state_digest'"]
-        key = (row.get("scheme"), row.get("seed"))
+        key = (row.get("scheme"), row.get("seed"),
+               row.get("fault_plan", "none"))
         groups.setdefault(key, []).append((backend, row))
 
     errors = []
-    for (scheme, seed), members in sorted(groups.items()):
+    for (scheme, seed, plan), members in sorted(groups.items()):
         backends = [b for b, _ in members]
         if len(set(backends)) < 2:
             errors.append(
-                f"{path}: ({scheme}, seed={seed}) has only backend(s) "
-                f"{sorted(set(backends))} — nothing to compare")
+                f"{path}: ({scheme}, seed={seed}, plan={plan}) has only "
+                f"backend(s) {sorted(set(backends))} — nothing to compare")
             continue
         reference_backend, reference = members[0]
         for backend, row in members[1:]:
             for field in ("state_digest", "shard_digests", "committed"):
                 if row.get(field) != reference.get(field):
                     errors.append(
-                        f"{path}: ({scheme}, seed={seed}) {field} differs: "
+                        f"{path}: ({scheme}, seed={seed}, plan={plan}) "
+                        f"{field} differs: "
                         f"{reference_backend}={reference.get(field)!r} "
                         f"{backend}={row.get(field)!r}")
     if not errors:
         n = len(groups)
-        print(f"OK {path}: {n} (scheme, seed) groups bit-identical "
-              f"across backends")
+        print(f"OK {path}: {n} (scheme, seed, fault_plan) groups "
+              f"bit-identical across backends")
     return errors
 
 
