@@ -50,7 +50,7 @@ void RecoveryManager::Restart(NodeId node) {
         n->store().Put(rec.oid, rec.value, rec.new_ts);
         n->clock().Observe(rec.new_ts);
       });
-  wals_->ResetWriter(node, result.next_lsn);
+  wals_->ResetWriter(node, result.next_lsn, result.next_segment);
   records_replayed_ += result.records_replayed;
   ++recoveries_;
   m.recovery_replayed.Increment(result.records_replayed);

@@ -11,13 +11,17 @@ Wal::Wal(NodeId node, WalBackend* backend, Options options)
 }
 
 void Wal::Open(std::uint64_t next_lsn) {
+  Open(next_lsn, backend_->SegmentCount(node_));
+}
+
+void Wal::Open(std::uint64_t next_lsn, std::uint32_t segment) {
   assert(next_lsn >= 1);
   next_lsn_ = next_lsn;
   appended_lsn_ = next_lsn - 1;
   durable_lsn_ = next_lsn - 1;
   pending_.clear();
   pending_records_ = 0;
-  OpenSegment(backend_->SegmentCount(node_));
+  OpenSegment(segment);
 }
 
 void Wal::OpenSegment(std::uint32_t segment) {

@@ -34,9 +34,17 @@ class Wal {
 
   Wal(NodeId node, WalBackend* backend, Options options);
 
-  /// Opens a fresh segment (index = backend->SegmentCount(node)) and
-  /// arms the writer to issue LSNs from `next_lsn`. Called at birth and
-  /// again after crash recovery.
+  /// Arms the writer to issue LSNs from `next_lsn` and opens (or
+  /// re-creates) segment `segment`. After crash recovery the caller
+  /// passes RecoveryResult::next_segment, which REUSES the index of a
+  /// torn-header segment that recovery truncated to nothing — opening
+  /// the next index instead would strand an empty segment in the dense
+  /// count and stop every later recovery short of the records written
+  /// after restart.
+  void Open(std::uint64_t next_lsn, std::uint32_t segment);
+
+  /// Convenience for a fresh log: opens the next unused index
+  /// (backend->SegmentCount(node)).
   void Open(std::uint64_t next_lsn);
 
   /// Encodes one record into the pending buffer; returns its LSN.

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/logging.h"
@@ -45,9 +46,16 @@ class StdioWalFile : public WalFile {
 
   void Append(const std::uint8_t* data, std::size_t size) override {
     if (f_ == nullptr) return;
-    std::size_t written = std::fwrite(data, 1, size, f_);
-    assert(written == size);
-    (void)written;
+    const std::size_t written = std::fwrite(data, 1, size, f_);
+    if (written != size) {
+      // A silently-swallowed short write (disk full, I/O error) would
+      // leave size_ claiming bytes the file never got, so a later Sync
+      // marks them durable and the log corrupts mid-stream instead of
+      // tearing at the tail. Fail loudly, in release builds too.
+      std::fprintf(stderr, "wal: short write (%zu of %zu bytes)\n", written,
+                   size);
+      std::abort();
+    }
     // Write through immediately: appended-but-unsynced bytes must live
     // in the FILE (the crash model truncates the file to a torn-tail
     // cut point), not in a stdio buffer an abandoned handle would lose
@@ -123,6 +131,11 @@ void MemWalBackend::TruncateSegment(NodeId node, std::uint32_t segment,
   }
 }
 
+void MemWalBackend::Clear(NodeId node) {
+  assert(node < segments_.size());
+  segments_[node].clear();
+}
+
 std::vector<std::uint8_t>* MemWalBackend::SegmentBytes(NodeId node,
                                                        std::uint32_t segment) {
   assert(node < segments_.size());
@@ -190,6 +203,14 @@ void FileWalBackend::TruncateSegment(NodeId node, std::uint32_t segment,
   int rc = ::truncate(path.c_str(), static_cast<off_t>(keep_bytes));
   assert(rc == 0);
   (void)rc;
+}
+
+void FileWalBackend::Clear(NodeId node) {
+  assert(node < created_.size());
+  for (std::uint32_t seg = 0; seg < created_[node]; ++seg) {
+    ::unlink(SegmentPath(node, seg).c_str());
+  }
+  created_[node] = 0;
 }
 
 }  // namespace tdr::wal

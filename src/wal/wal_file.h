@@ -57,6 +57,11 @@ class WalBackend {
   /// prefix — a sync'd byte is durable by contract.
   virtual void TruncateSegment(NodeId node, std::uint32_t segment,
                                std::uint64_t keep_bytes) = 0;
+
+  /// Deletes every segment of `node`. A fresh writer (a new cluster)
+  /// starting over on a backend that may hold another log's segments —
+  /// appending an LSN-1 log after stale segments would corrupt replay.
+  virtual void Clear(NodeId node) = 0;
 };
 
 /// In-memory backend for the simulator: segments are byte vectors that
@@ -74,6 +79,7 @@ class MemWalBackend : public WalBackend {
                    std::vector<std::uint8_t>* out) const override;
   void TruncateSegment(NodeId node, std::uint32_t segment,
                        std::uint64_t keep_bytes) override;
+  void Clear(NodeId node) override;
 
   /// Test hook: direct mutable access to a segment's bytes (torn-tail
   /// suites overwrite bytes to corrupt records in place).
@@ -103,6 +109,7 @@ class FileWalBackend : public WalBackend {
                    std::vector<std::uint8_t>* out) const override;
   void TruncateSegment(NodeId node, std::uint32_t segment,
                        std::uint64_t keep_bytes) override;
+  void Clear(NodeId node) override;
 
   std::string SegmentPath(NodeId node, std::uint32_t segment) const;
 

@@ -6,16 +6,34 @@ RecoveryResult WalRecovery::Recover(NodeId node, const ApplyFn& apply) {
   RecoveryResult result;
   std::uint64_t expected_lsn = 1;
   const std::uint32_t segments = backend_->SegmentCount(node);
+  result.next_segment = segments;
   WalRecord record;
   for (std::uint32_t seg = 0; seg < segments; ++seg) {
-    if (!backend_->ReadSegment(node, seg, &buf_)) break;
+    if (!backend_->ReadSegment(node, seg, &buf_)) {
+      result.next_segment = seg;
+      break;
+    }
     ++result.segments_read;
+    if (buf_.empty()) {
+      // Left by a prior recovery truncating a torn header away, or by a
+      // crash before any header byte reached the disk. Nothing durable
+      // was lost. Reuse a trailing empty index; skip an interior one —
+      // later segments may hold durable records that must stay
+      // reachable.
+      if (seg + 1 == segments) {
+        result.next_segment = seg;
+        break;
+      }
+      continue;
+    }
     if (!CheckSegmentHeader(buf_.data(), buf_.size(), node, seg)) {
       // A crash can tear even the (unsynced) header of a freshly rolled
-      // segment. The whole segment is tail: drop it and stop.
+      // segment. The whole segment is tail: drop it and hand its index
+      // back to the writer.
       result.torn_tail = true;
       result.bytes_truncated += buf_.size();
       backend_->TruncateSegment(node, seg, 0);
+      result.next_segment = seg;
       break;
     }
     std::size_t offset = kSegmentHeaderSize;
@@ -36,6 +54,9 @@ RecoveryResult WalRecovery::Recover(NodeId node, const ApplyFn& apply) {
       result.torn_tail = true;
       result.bytes_truncated += buf_.size() - offset;
       backend_->TruncateSegment(node, seg, offset);
+      // This segment keeps its durable prefix, so the writer must not
+      // reuse its index — it resumes in the next one.
+      result.next_segment = seg + 1;
       break;  // anything past a torn segment is unreachable history
     }
   }

@@ -22,6 +22,12 @@ struct RecoveryResult {
   bool torn_tail = false;
   /// LSN the writer should continue from.
   std::uint64_t next_lsn = 1;
+  /// Segment index the writer should reopen. Usually SegmentCount, but
+  /// a segment whose header was torn is truncated to nothing and its
+  /// INDEX handed back for reuse — if the writer opened the next index
+  /// instead, the stranded empty segment would stop every later
+  /// recovery before it reached the records written after restart.
+  std::uint32_t next_segment = 0;
 };
 
 /// Replays a node's WAL from its backend, in segment order, stopping at

@@ -48,6 +48,13 @@ WalSet::WalSet(runtime::Runtime* rt, std::uint32_t num_nodes,
   wals_.reserve(num_nodes);
   committers_.reserve(num_nodes);
   for (NodeId node = 0; node < num_nodes; ++node) {
+    // A WalSet is a NEW cluster's log. A reused wal_dir can hold a
+    // previous cluster's segments (FileWalBackend probes them so
+    // recovery-only readers can see them); arming a fresh LSN-1 writer
+    // on top would make the first recovery replay the stale records
+    // into the store and then discard this cluster's entire log as a
+    // torn tail. Start from nothing instead.
+    backend_->Clear(node);
     wals_.push_back(std::make_unique<Wal>(node, backend_.get(), wal_options));
     wals_.back()->Open(/*next_lsn=*/1);
     committers_.push_back(std::make_unique<GroupCommitter>(
@@ -106,10 +113,11 @@ void WalSet::Crash(NodeId node) {
   }
 }
 
-void WalSet::ResetWriter(NodeId node, std::uint64_t next_lsn) {
+void WalSet::ResetWriter(NodeId node, std::uint64_t next_lsn,
+                         std::uint32_t next_segment) {
   assert(crashed_[node] != 0);
   crashed_[node] = 0;
-  wals_[node]->Open(next_lsn);
+  wals_[node]->Open(next_lsn, next_segment);
   committers_[node]->Reset();
 }
 

@@ -52,9 +52,11 @@ class WalSet : public DurabilityHook {
   /// unsynced suffix of the active segment.
   void Crash(NodeId node);
 
-  /// Recovery handoff: re-arms `node`'s writer at `next_lsn` (fresh
-  /// segment) and revives its committer.
-  void ResetWriter(NodeId node, std::uint64_t next_lsn);
+  /// Recovery handoff: re-arms `node`'s writer at `next_lsn` in
+  /// segment `next_segment` (RecoveryResult::next_segment — reusing a
+  /// truncated-away torn segment's index) and revives its committer.
+  void ResetWriter(NodeId node, std::uint64_t next_lsn,
+                   std::uint32_t next_segment);
 
   bool node_crashed(NodeId node) const { return crashed_[node] != 0; }
   WalBackend* backend() { return backend_.get(); }

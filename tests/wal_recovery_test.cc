@@ -71,6 +71,7 @@ TEST(WalRecoveryTest, CleanLogReplaysEveryRecordInLsnOrder) {
   EXPECT_FALSE(result.torn_tail);
   EXPECT_EQ(result.bytes_truncated, 0u);
   EXPECT_EQ(result.next_lsn, 6u);
+  EXPECT_EQ(result.next_segment, 1u);
 }
 
 TEST(WalRecoveryTest, EmptyLogRecoversToLsnOne) {
@@ -183,7 +184,97 @@ TEST(WalRecoveryTest, BadSegmentHeaderDropsTheWholeSegment) {
   EXPECT_TRUE(records.empty());
   EXPECT_TRUE(result.torn_tail);
   EXPECT_EQ(result.next_lsn, 1u);
+  EXPECT_EQ(result.next_segment, 0u);  // the emptied index is reused
   EXPECT_EQ(backend.SegmentBytes(0, 0)->size(), 0u);
+  // Idempotence: the truncated-away segment is not torn a second time.
+  RecoveryResult second;
+  Replay(&recovery, &second);
+  EXPECT_FALSE(second.torn_tail);
+  EXPECT_EQ(second.next_segment, 0u);
+}
+
+// Regression (review): a torn (unsynced) segment header used to leave
+// an empty segment stranded in the dense count — the revived writer
+// opened the NEXT index, so every later recovery stopped at the empty
+// segment and orphaned all durable records written after the restart,
+// silently losing acknowledged commits and reusing LSNs. The writer
+// must resume at RecoveryResult::next_segment instead.
+TEST(WalRecoveryTest, WriteAfterTornHeaderRecoveryStaysRecoverable) {
+  MemWalBackend backend(1);
+  WriteLog(&backend, 4);
+  {
+    // Crash mid-roll: segment 1 got 7 bytes of its header, never
+    // synced.
+    std::vector<std::uint8_t> header;
+    EncodeSegmentHeader(0, 1, &header);
+    std::unique_ptr<WalFile> f = backend.Create(0, 1);
+    f->Append(header.data(), 7);
+  }
+  WalRecovery recovery(&backend);
+  RecoveryResult first;
+  Replay(&recovery, &first);
+  EXPECT_TRUE(first.torn_tail);
+  EXPECT_EQ(first.next_lsn, 5u);
+  EXPECT_EQ(first.next_segment, 1u);
+  {
+    // Restart: the writer resumes at the recovered (lsn, segment) and
+    // commits two more records durably.
+    Wal wal(0, &backend, Wal::Options{});
+    wal.Open(first.next_lsn, first.next_segment);
+    for (std::uint64_t i = 5; i <= 6; ++i) {
+      wal.Append(100 + i, i, 0, Timestamp{i - 1, 0}, Timestamp{i, 0},
+                 Value(static_cast<std::int64_t>(i)));
+      wal.CompleteFlush(wal.BeginFlush());
+    }
+  }
+  // Second crash/recovery: the post-restart records must be reachable.
+  RecoveryResult second;
+  const std::vector<WalRecord> records = Replay(&recovery, &second);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[5].lsn, 6u);
+  EXPECT_EQ(records[5].oid, 6u);
+  EXPECT_FALSE(second.torn_tail);
+  EXPECT_EQ(second.next_lsn, 7u);
+  EXPECT_EQ(second.next_segment, 2u);
+}
+
+TEST(WalRecoveryTest, EmptyTrailingSegmentIsReusedWithoutATornTail) {
+  MemWalBackend backend(1);
+  WriteLog(&backend, 3);
+  // Rolled, then crashed before any byte of the new segment landed.
+  (void)backend.Create(0, 1);
+  WalRecovery recovery(&backend);
+  RecoveryResult result;
+  const std::vector<WalRecord> records = Replay(&recovery, &result);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.next_lsn, 4u);
+  EXPECT_EQ(result.next_segment, 1u);
+}
+
+TEST(WalRecoveryTest, EmptyInteriorSegmentIsSkippedWhenLaterSegmentsContinue) {
+  // On-disk state from before torn-segment index reuse: an empty
+  // segment 0 with durable records stranded in segment 1. Recovery must
+  // step over the hole instead of orphaning them.
+  MemWalBackend backend(1);
+  (void)backend.Create(0, 0);
+  {
+    std::vector<std::uint8_t> bytes;
+    EncodeSegmentHeader(0, 1, &bytes);
+    AppendRecord(1, 101, 1, 0, Timestamp::Zero(), Timestamp{1, 0}, Value(1),
+                 &bytes);
+    std::unique_ptr<WalFile> f = backend.Create(0, 1);
+    f->Append(bytes.data(), bytes.size());
+    f->Sync();
+  }
+  WalRecovery recovery(&backend);
+  RecoveryResult result;
+  const std::vector<WalRecord> records = Replay(&recovery, &result);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.next_lsn, 2u);
+  EXPECT_EQ(result.next_segment, 2u);
 }
 
 TEST(WalRecoveryTest, MultiSegmentLogReplaysAcrossRolls) {
@@ -198,6 +289,7 @@ TEST(WalRecoveryTest, MultiSegmentLogReplaysAcrossRolls) {
   EXPECT_EQ(result.segments_read, backend.SegmentCount(0));
   EXPECT_FALSE(result.torn_tail);
   EXPECT_EQ(result.next_lsn, 25u);
+  EXPECT_EQ(result.next_segment, backend.SegmentCount(0));
 }
 
 TEST(WalRecoveryTest, TornTailInTheLastSegmentKeepsEarlierSegments) {
@@ -230,6 +322,9 @@ TEST(WalRecoveryTest, TornTailInTheLastSegmentKeepsEarlierSegments) {
   EXPECT_EQ(records.size(), earlier);
   EXPECT_TRUE(result.torn_tail);
   EXPECT_EQ(result.next_lsn, earlier + 1);
+  // The segment kept its header (a durable prefix), so its index is
+  // NOT reused.
+  EXPECT_EQ(result.next_segment, last + 1);
   EXPECT_EQ(backend.SegmentBytes(0, last)->size(), kSegmentHeaderSize);
 }
 

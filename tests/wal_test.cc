@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "storage/shard_map.h"
 #include "wal/crc32c.h"
 #include "wal/group_committer.h"
 #include "wal/wal.h"
 #include "wal/wal_file.h"
 #include "wal/wal_format.h"
+#include "wal/wal_recovery.h"
+#include "wal/wal_set.h"
 
 namespace tdr::wal {
 namespace {
@@ -193,6 +196,44 @@ TEST(FileWalBackendTest, SegmentsSurviveBackendTeardown) {
   std::vector<std::uint8_t> out;
   ASSERT_TRUE(backend.ReadSegment(0, 0, &out));
   EXPECT_EQ(out, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+// Review regression: a fresh cluster handed a wal_dir that still holds
+// a previous cluster's segments must not stack its LSN-1 log on top of
+// them — the first recovery would replay the stale records into the
+// store and then discard the new cluster's entire durable log as a
+// torn tail (LSN 1 where the stale log's continuation was expected).
+TEST(WalSetTest, FreshWalSetOnAReusedDirStartsACleanLog) {
+  const std::string dir = ::testing::TempDir() + "tdr_wal_reused_dir_test";
+  std::filesystem::remove_all(dir);
+  {
+    // A previous cluster's log: three durable records in segment 0.
+    FileWalBackend stale(dir, 1);
+    Wal wal(0, &stale, Wal::Options{});
+    wal.Open(1);
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      wal.Append(i, i, 0, Timestamp{i - 1, 0}, Timestamp{i, 0},
+                 Value(static_cast<std::int64_t>(i)));
+      wal.CompleteFlush(wal.BeginFlush());
+    }
+  }
+  sim::Simulator sim;
+  ShardMap shards(/*db_size=*/8, /*num_shards=*/1);
+  WalSet::Options opts;
+  opts.mode = DurabilityMode::kCommit;
+  opts.wal_dir = dir;
+  WalSet wals(&sim, /*num_nodes=*/1, &shards, opts, Rng(1, 2), nullptr);
+  // The stale segments are gone: the new writer opened segment 0.
+  EXPECT_EQ(wals.wal(0)->segment(), 0u);
+  EXPECT_EQ(wals.backend()->SegmentCount(0), 1u);
+  // Recovery of the fresh (record-free) log replays nothing.
+  WalRecovery recovery(wals.backend());
+  const RecoveryResult result = recovery.Recover(0, [](const WalRecord&) {
+    ADD_FAILURE() << "stale record replayed into a fresh cluster";
+  });
+  EXPECT_EQ(result.records_replayed, 0u);
+  EXPECT_EQ(result.next_lsn, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(WalWriterTest, FlushAdvancesTheDurableLine) {
