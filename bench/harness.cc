@@ -58,7 +58,37 @@ analytic::ModelParams ToModelParams(const SimConfig& config) {
   return p;
 }
 
+fault::FaultPlan BuildFaultPlan(const SimConfig& config) {
+  fault::FaultPlan plan;
+  if (config.fault_drop_probability > 0) {
+    fault::ChaosProfile chaos;
+    chaos.drop_probability = config.fault_drop_probability;
+    plan.WithChaos(chaos);
+  }
+  if (config.fault_partition_cycle && config.nodes > 1) {
+    // One cycle: the last node splits off for the middle third.
+    plan.PartitionAt(SimTime::Seconds(config.sim_seconds / 3), "cycle",
+                     {static_cast<NodeId>(config.nodes - 1)})
+        .HealPartitionAt(SimTime::Seconds(2 * config.sim_seconds / 3),
+                         "cycle");
+  }
+  if (config.fault_crash_cycle && config.nodes > 1) {
+    // Crash the last node for the middle third; restart routes
+    // through Cluster::recovery() — WAL replay under kCommit/kGroup,
+    // the legacy durable-store model under kOff.
+    plan.CrashAt(SimTime::Seconds(config.sim_seconds / 3),
+                 static_cast<NodeId>(config.nodes - 1))
+        .RestartAt(SimTime::Seconds(2 * config.sim_seconds / 3),
+                   static_cast<NodeId>(config.nodes - 1));
+  }
+  return plan;
+}
+
 SimOutcome RunScheme(const SimConfig& config) {
+  return RunScheme(config, RunHooks{});
+}
+
+SimOutcome RunScheme(const SimConfig& config, const RunHooks& hooks) {
   Cluster::Options copts;
   copts.num_nodes = config.nodes;
   copts.db_size = config.db_size;
@@ -76,6 +106,7 @@ SimOutcome RunScheme(const SimConfig& config) {
       static_cast<std::size_t>(config.wal_group_max_records);
   copts.wal.segment_bytes = config.wal_segment_bytes;
   Cluster cluster(copts);
+  if (hooks.on_built) hooks.on_built(cluster);
 
   BatchShipper::Options batch;
   batch.flush_window = SimTime::Seconds(config.batch_flush_window);
@@ -140,30 +171,8 @@ SimOutcome RunScheme(const SimConfig& config) {
   std::unique_ptr<fault::FaultInjector> injector;
   std::unique_ptr<fault::InvariantChecker> checker;
   if (faulted) {
-    fault::FaultPlan plan;
-    if (config.fault_drop_probability > 0) {
-      fault::ChaosProfile chaos;
-      chaos.drop_probability = config.fault_drop_probability;
-      plan.WithChaos(chaos);
-    }
-    if (config.fault_partition_cycle && config.nodes > 1) {
-      // One cycle: the last node splits off for the middle third.
-      plan.PartitionAt(SimTime::Seconds(config.sim_seconds / 3), "cycle",
-                       {static_cast<NodeId>(config.nodes - 1)})
-          .HealPartitionAt(SimTime::Seconds(2 * config.sim_seconds / 3),
-                           "cycle");
-    }
-    if (config.fault_crash_cycle && config.nodes > 1) {
-      // Crash the last node for the middle third; restart routes
-      // through Cluster::recovery() — WAL replay under kCommit/kGroup,
-      // the legacy durable-store model under kOff.
-      plan.CrashAt(SimTime::Seconds(config.sim_seconds / 3),
-                   static_cast<NodeId>(config.nodes - 1))
-          .RestartAt(SimTime::Seconds(2 * config.sim_seconds / 3),
-                     static_cast<NodeId>(config.nodes - 1));
-    }
-    injector = std::make_unique<fault::FaultInjector>(&cluster, plan,
-                                                      Rng(config.seed, 777));
+    injector = std::make_unique<fault::FaultInjector>(
+        &cluster, BuildFaultPlan(config), Rng(config.seed, 777));
   }
   if (faulted || config.run_invariant_checker) {
     fault::InvariantChecker::Options chk;
@@ -223,6 +232,8 @@ SimOutcome RunScheme(const SimConfig& config) {
     if (lazy_master != nullptr) lazy_master->CatchUpAll();
     cluster.runtime().Run();
   }
+  // Quiescent point: no further events can fire, digests not yet taken.
+  if (hooks.before_digest) hooks.before_digest(cluster);
   if (checker != nullptr) {
     // The final invariant check: convergence, or recorded delusion for
     // lazy-group. Violations stay unacknowledged: the checker

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analytic/fit.h"
 #include "analytic/model.h"
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/timeseries.h"
@@ -164,6 +166,30 @@ struct SimOutcome {
 /// Runs the uniform open-loop workload under `config` and returns the
 /// measured rates.
 SimOutcome RunScheme(const SimConfig& config);
+
+/// Observation points inside RunScheme for callers that need to attach
+/// passive instrumentation to the cluster — the multi-process backend's
+/// NetBridge hooks in here. Hook code must not mutate cluster state,
+/// send messages, or draw from any cluster RNG stream: a hooked run
+/// must stay bit-identical to an unhooked one.
+struct RunHooks {
+  /// Right after the Cluster is constructed, before the scheme, fault
+  /// layer, or workload exist — the place to attach a delivery hook.
+  std::function<void(Cluster&)> on_built;
+  /// After the run has fully drained (no further events can fire) and
+  /// before the state/shard digests are captured — the place for a
+  /// cross-process drain barrier.
+  std::function<void(Cluster&)> before_digest;
+};
+
+/// RunScheme with observation hooks (either may be empty).
+SimOutcome RunScheme(const SimConfig& config, const RunHooks& hooks);
+
+/// The deterministic fault plan `config`'s knobs expand to (empty plan
+/// when the config is clean). Exposed so every process of a
+/// multi-process run can prove it built the same plan
+/// (FaultPlan::Fingerprint) as the coordinator.
+fault::FaultPlan BuildFaultPlan(const SimConfig& config);
 
 /// Canonical name of the fault plan `config` runs under ("none" when
 /// clean, else e.g. "drop=0.05+partition+crash"). Report rows carry it

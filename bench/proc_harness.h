@@ -1,0 +1,70 @@
+#ifndef TDR_BENCH_PROC_HARNESS_H_
+#define TDR_BENCH_PROC_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace tdr::bench {
+
+/// Round-trippable text form of a SimConfig — the payload of the
+/// coordinator's kConfig frame. Doubles are written with %.17g so the
+/// parsed config is bit-identical to the original (the whole design
+/// rests on every process building the same cluster).
+std::string SerializeSimConfig(const SimConfig& config);
+
+/// Inverse of SerializeSimConfig. False (with diagnosis) on unknown
+/// keys, malformed values, or a version it does not speak.
+bool ParseSimConfig(const std::string& text, SimConfig* out,
+                    std::string* error);
+
+/// Result of one multi-process run (see RunSchemeMultiProcess).
+struct ProcOutcome {
+  bool ok = false;
+  /// First failure: child kError (delivery-rendezvous mismatch, frame
+  /// corruption, non-idle transport), crash, wedge, or cross-child
+  /// digest disagreement.
+  std::string error;
+
+  std::uint64_t committed = 0;
+  std::uint64_t invariant_violations = 0;
+  /// Full-cluster digest every node process agreed on.
+  std::uint64_t state_digest = 0;
+  /// Per-shard digest matrix (shard-major, then node order) assembled
+  /// from each owner process's column — same layout as
+  /// SimOutcome::shard_digests, so the two compare element-wise.
+  std::vector<std::uint64_t> shard_digests;
+  /// FNV-1a over the metrics snapshot text, agreed by every child.
+  std::uint64_t metrics_fp = 0;
+  /// FaultPlan::Fingerprint every child derived from the shipped config.
+  std::uint64_t plan_fp = 0;
+  /// Transport/bridge counters summed across node processes
+  /// (proc.frames_sent, proc.bytes_received, ...), sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  std::uint64_t Counter(const std::string& name) const;
+};
+
+/// Runs `config` as a real multi-process cluster: one forked OS process
+/// per node, every cross-node Network delivery rendezvoused over a
+/// Unix-domain socket pair (src/proc). Each process builds the full
+/// cluster from the serialized config and executes the identical
+/// deterministic schedule; the socket layer is load-bearing because a
+/// receiver BLOCKS on, and field-verifies, its owner's frame for every
+/// delivery it owns. Returns the digests all processes agreed on.
+///
+/// The caller compares the result against RunScheme(config) run
+/// in-process — the sim-as-oracle differential gate.
+ProcOutcome RunSchemeMultiProcess(const SimConfig& config);
+
+/// FNV-1a fingerprint of a metrics snapshot's deterministic text form —
+/// the same hash children report, exposed so the oracle side of a
+/// differential comparison can compute its own.
+std::uint64_t MetricsFingerprint(const obs::MetricsSnapshot& snapshot);
+
+}  // namespace tdr::bench
+
+#endif  // TDR_BENCH_PROC_HARNESS_H_

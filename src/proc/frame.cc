@@ -1,0 +1,173 @@
+#include "proc/frame.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "wal/crc32c.h"
+
+namespace tdr::proc {
+
+namespace {
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kDeliver:
+      return "deliver";
+    case FrameKind::kConfig:
+      return "config";
+    case FrameKind::kDrained:
+      return "drained";
+    case FrameKind::kProceed:
+      return "proceed";
+    case FrameKind::kReport:
+      return "report";
+    case FrameKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Frame::ToString() const {
+  return StrPrintf(
+      "[%s %u->%u seq=%llu t=%lldus copies=%u fp=%llu payload=%zuB]",
+      FrameKindName(kind), origin, dest,
+      static_cast<unsigned long long>(pair_seq),
+      static_cast<long long>(time_us), copies,
+      static_cast<unsigned long long>(schedule_fp), payload.size());
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string body;
+  body.reserve(kFrameFixedBodyBytes + frame.payload.size());
+  body.push_back(static_cast<char>(frame.kind));
+  PutU32(&body, frame.origin);
+  PutU32(&body, frame.dest);
+  PutU64(&body, frame.pair_seq);
+  PutU64(&body, static_cast<std::uint64_t>(frame.time_us));
+  PutU32(&body, frame.copies);
+  PutU64(&body, frame.schedule_fp);
+  body.append(frame.payload);
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<std::uint32_t>(body.size()));
+  PutU32(out, wal::Crc32c(body.data(), body.size()));
+  out->append(body);
+}
+
+std::string EncodeFrameToString(const Frame& frame) {
+  std::string out;
+  EncodeFrame(frame, &out);
+  return out;
+}
+
+void FrameDecoder::Feed(const void* data, std::size_t size) {
+  if (failed_ || size == 0) return;
+  bytes_fed_ += size;
+  // Compact the consumed prefix before growing; the buffer only ever
+  // holds whole undecoded frames plus at most one partial tail.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+FrameDecoder::Status FrameDecoder::Fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  if (failed_) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) {
+    pending_partial_ = avail > 0;
+    return Status::kNeedMore;
+  }
+  const char* head = buf_.data() + pos_;
+  const std::uint32_t magic = GetU32(head);
+  if (magic != kFrameMagic) {
+    return Fail(StrPrintf("bad frame magic 0x%08x", magic));
+  }
+  const std::uint32_t len = GetU32(head + 4);
+  if (len > kMaxFrameBodyBytes) {
+    return Fail(StrPrintf("frame body length %u exceeds cap %u", len,
+                          kMaxFrameBodyBytes));
+  }
+  if (len < kFrameFixedBodyBytes) {
+    return Fail(StrPrintf("frame body length %u below fixed fields (%zu)",
+                          len, kFrameFixedBodyBytes));
+  }
+  if (avail < kFrameHeaderBytes + len) {
+    pending_partial_ = true;
+    return Status::kNeedMore;
+  }
+  const std::uint32_t want_crc = GetU32(head + 8);
+  const char* body = head + kFrameHeaderBytes;
+  const std::uint32_t got_crc = wal::Crc32c(body, len);
+  if (want_crc != got_crc) {
+    return Fail(StrPrintf("frame CRC mismatch: header 0x%08x body 0x%08x",
+                          want_crc, got_crc));
+  }
+  out->kind = static_cast<FrameKind>(static_cast<unsigned char>(body[0]));
+  out->origin = GetU32(body + 1);
+  out->dest = GetU32(body + 5);
+  out->pair_seq = GetU64(body + 9);
+  out->time_us = static_cast<std::int64_t>(GetU64(body + 17));
+  out->copies = GetU32(body + 25);
+  out->schedule_fp = GetU64(body + 29);
+  out->payload.assign(body + kFrameFixedBodyBytes,
+                      len - kFrameFixedBodyBytes);
+  pos_ += kFrameHeaderBytes + len;
+  ++frames_decoded_;
+  if (pending_partial_) {
+    ++partial_frames_;
+    pending_partial_ = false;
+  }
+  return Status::kFrame;
+}
+
+std::uint64_t HashBytes(const void* data, std::size_t size,
+                        std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace tdr::proc

@@ -1,0 +1,118 @@
+#ifndef TDR_PROC_FRAME_H_
+#define TDR_PROC_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tdr::proc {
+
+/// What a frame carries. kDeliver frames ride the node-pair data
+/// sockets (one per cross-node Network delivery); the rest are the
+/// coordinator control protocol on the parent<->child pipes.
+enum class FrameKind : std::uint8_t {
+  kDeliver = 1,  // node->node: one Network delivery rendezvous
+  kConfig = 2,   // parent->child: the serialized run configuration
+  kDrained = 3,  // child->parent: local schedule fully drained
+  kProceed = 4,  // parent->child: all nodes drained; capture digests
+  kReport = 5,   // child->parent: digests + counters payload
+  kError = 6,    // child->parent: verification/protocol failure
+};
+
+const char* FrameKindName(FrameKind kind);
+
+/// One wire frame. For kDeliver the fixed fields describe the delivery
+/// being rendezvoused: (origin, dest) endpoints, the per-(origin, dest)
+/// delivery sequence number, the virtual time of the delivery event,
+/// the merged duplicate count (fault injection), and the sender's
+/// executed-event count at delivery time — the recorded-schedule
+/// fingerprint that makes a receiver's verification exact, not
+/// heuristic. Control frames use `origin` as the sending node and carry
+/// their data in `payload`.
+struct Frame {
+  FrameKind kind = FrameKind::kDeliver;
+  std::uint32_t origin = 0;
+  std::uint32_t dest = 0;
+  std::uint64_t pair_seq = 0;
+  std::int64_t time_us = 0;
+  std::uint32_t copies = 1;
+  std::uint64_t schedule_fp = 0;
+  std::string payload;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Frame& a, const Frame& b) {
+    return a.kind == b.kind && a.origin == b.origin && a.dest == b.dest &&
+           a.pair_seq == b.pair_seq && a.time_us == b.time_us &&
+           a.copies == b.copies && a.schedule_fp == b.schedule_fp &&
+           a.payload == b.payload;
+  }
+};
+
+/// Wire layout: [magic u32][len u32][crc u32][body], all little-endian.
+/// `len` is the body size, `crc` is CRC32C (the WAL's Castagnoli
+/// polynomial) over the body — a wrong length misaligns every later
+/// header, and the magic + CRC pair turns that into a hard error
+/// instead of silent garbage. The body packs the fixed Frame fields
+/// (37 bytes) followed by the payload.
+inline constexpr std::uint32_t kFrameMagic = 0x46524454u;  // "TDRF"
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::size_t kFrameFixedBodyBytes = 37;
+/// Upper bound on one body; a length above it is treated as stream
+/// corruption (control payloads are reports and configs, far smaller).
+inline constexpr std::uint32_t kMaxFrameBodyBytes = 16u << 20;
+
+/// Appends the encoded frame to `*out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Convenience: the encoded bytes of one frame.
+std::string EncodeFrameToString(const Frame& frame);
+
+/// Incremental frame reassembler: feed it whatever byte windows the
+/// socket hands you — single bytes, header/body splits, several frames
+/// at once — and pop complete verified frames. Any integrity failure
+/// (bad magic, oversized length, CRC mismatch, truncated fixed fields)
+/// poisons the decoder permanently: a byte stream that lost framing
+/// cannot be trusted to resynchronize.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     // *out holds the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // stream corrupt; error() explains
+  };
+
+  void Feed(const void* data, std::size_t size);
+  Status Next(Frame* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// True if a partial frame (or partial header) is buffered.
+  bool HasPartial() const { return !failed_ && pos_ < buf_.size(); }
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+  std::uint64_t bytes_fed() const { return bytes_fed_; }
+  /// Frames whose bytes arrived across more than one Feed call — the
+  /// reassembly-path counter the proc transport reports.
+  std::uint64_t partial_frames() const { return partial_frames_; }
+
+ private:
+  Status Fail(const std::string& why);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  bool pending_partial_ = false;
+  std::string error_;
+  std::uint64_t frames_decoded_ = 0;
+  std::uint64_t bytes_fed_ = 0;
+  std::uint64_t partial_frames_ = 0;
+};
+
+/// FNV-1a over a byte range — the cheap deterministic fingerprint used
+/// for metrics snapshots and fault plans crossing the control pipe.
+std::uint64_t HashBytes(const void* data, std::size_t size,
+                        std::uint64_t seed = 1469598103934665603ULL);
+
+}  // namespace tdr::proc
+
+#endif  // TDR_PROC_FRAME_H_

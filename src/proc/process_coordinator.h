@@ -1,0 +1,143 @@
+#ifndef TDR_PROC_PROCESS_COORDINATOR_H_
+#define TDR_PROC_PROCESS_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "proc/socket_transport.h"
+
+namespace tdr::proc {
+
+/// The coordinator's peer id on a child's control transport.
+inline constexpr std::uint32_t kCoordinatorId = 0xffffff00u;
+
+/// What one node process reports back over its control pipe after the
+/// drain barrier. The digests let the parent check two things:
+///  * every child computed the SAME full-cluster digest (they all ran
+///    the identical schedule to the same state), and
+///  * the per-shard matrix ASSEMBLED from each owner's column — one
+///    row slice per OS process — matches that same state, so the
+///    authoritative copy of every replica agrees too.
+struct NodeReport {
+  std::uint32_t node = 0;
+  std::uint64_t state_digest = 0;
+  /// FNV-1a over the full shard×node digest matrix as this child saw it.
+  std::uint64_t matrix_fp = 0;
+  /// FNV-1a over the metrics snapshot text (0 if metrics disabled).
+  std::uint64_t metrics_fp = 0;
+  /// Fingerprint of the fault plan the child ran (config integrity).
+  std::uint64_t plan_fp = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t invariant_violations = 0;
+  /// Per shard, the digest of the OWNED node's replica — this child's
+  /// column of the matrix.
+  std::vector<std::uint64_t> owned_shard_digests;
+  /// Sorted (name, value) transport/bridge counters, merged by the
+  /// parent into the run outcome.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  std::string Serialize() const;
+  static bool Parse(const std::string& text, NodeReport* out,
+                    std::string* error);
+};
+
+/// Forks one OS process per node, wires a Unix-domain stream socket
+/// pair per node pair (the data plane) plus one control socketpair per
+/// child, and runs the control protocol:
+///
+///   parent: kConfig(payload) to every child
+///   child:  builds its cluster from the payload, runs the schedule,
+///           flushes, sends kDrained
+///   parent: once ALL children drained -> kProceed to every child
+///   child:  verifies its transport is idle, captures digests, sends
+///           kReport(serialized NodeReport), _exit(0)
+///   any verification failure -> kError(diagnosis), nonzero exit
+///
+/// The two-phase drain barrier exists so no child tears down its
+/// sockets while a peer might still need to converse with it, and so
+/// the final idle check runs after every process has provably stopped
+/// sending.
+class ProcessCoordinator {
+ public:
+  struct Options {
+    std::uint32_t num_nodes = 0;
+    /// Opaque run configuration shipped in the kConfig frame.
+    std::string config;
+    /// Parent-side patience for each protocol phase; a child that
+    /// wedges past this is SIGKILLed and reported.
+    int phase_timeout_ms = 120000;
+  };
+
+  /// Everything a child body needs: identity, the config payload, the
+  /// data-plane transport (peers = all other node ids), and the
+  /// control-protocol helpers.
+  class NodeContext {
+   public:
+    NodeContext(std::uint32_t node, std::uint32_t num_nodes,
+                std::string config, SocketTransport* data,
+                SocketTransport* control)
+        : node_(node),
+          num_nodes_(num_nodes),
+          config_(std::move(config)),
+          data_(data),
+          control_(control) {}
+
+    std::uint32_t node() const { return node_; }
+    std::uint32_t num_nodes() const { return num_nodes_; }
+    const std::string& config() const { return config_; }
+    SocketTransport* data() { return data_; }
+
+    /// Drain barrier: kDrained up, block for kProceed. False (with
+    /// diagnosis) if the coordinator went away.
+    bool Barrier(std::string* error);
+
+    /// Reports a fatal child-side failure (kError frame) and exits the
+    /// process. Never returns — a forked child must not unwind back
+    /// into the test harness.
+    [[noreturn]] void Fail(const std::string& why);
+
+   private:
+    std::uint32_t node_;
+    std::uint32_t num_nodes_;
+    std::string config_;
+    SocketTransport* data_;
+    SocketTransport* control_;
+  };
+
+  /// Runs in the forked child; returns the report to ship. Use
+  /// ctx.Fail() for any error path.
+  using ChildBody = std::function<NodeReport(NodeContext& ctx)>;
+
+  struct Result {
+    bool ok = false;
+    std::string error;
+    /// One report per node, indexed by node id (valid when ok).
+    std::vector<NodeReport> reports;
+  };
+
+  /// Forks, runs, collects, reaps. Never throws; all failure modes
+  /// (child kError, crash, wedge, malformed report) land in
+  /// Result::error.
+  static Result Run(const Options& options, const ChildBody& body);
+
+  /// Cross-child equality checks on the collected reports; false with
+  /// a diagnosis on the first disagreement.
+  static bool ValidateReports(const std::vector<NodeReport>& reports,
+                              std::string* error);
+
+  /// matrix[shard][node] assembled from each owner's column.
+  static std::vector<std::vector<std::uint64_t>> AssembleShardMatrix(
+      const std::vector<NodeReport>& reports);
+
+  /// Sums each counter name across reports.
+  static std::vector<std::pair<std::string, std::uint64_t>> MergeCounters(
+      const std::vector<NodeReport>& reports);
+};
+
+}  // namespace tdr::proc
+
+#endif  // TDR_PROC_PROCESS_COORDINATOR_H_

@@ -1,0 +1,336 @@
+#include "proc/socket_transport.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace tdr::proc {
+
+namespace {
+
+/// writev takes at most IOV_MAX iovecs; 16 covers any realistic burst
+/// per flush round while keeping the stack array small.
+constexpr int kMaxIov = 16;
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::vector<PeerEndpoint> peers,
+                                 std::string who)
+    : who_(std::move(who)) {
+  // A peer process can exit (crash, _exit after kError) while we still
+  // hold queued bytes for it; writes must surface EPIPE, not kill us.
+  ::signal(SIGPIPE, SIG_IGN);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    Fail(StrPrintf("%s: epoll_create1: %s", who_.c_str(), strerror(errno)));
+    return;
+  }
+  peers_.reserve(peers.size());
+  for (const PeerEndpoint& ep : peers) {
+    Peer p;
+    p.id = ep.id;
+    p.fd = ep.fd;
+    const int flags = ::fcntl(p.fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(p.fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      Fail(StrPrintf("%s: fcntl(O_NONBLOCK) peer %u: %s", who_.c_str(),
+                     p.id, strerror(errno)));
+    }
+    peers_.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    struct epoll_event ev;
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, peers_[i].fd, &ev) < 0) {
+      Fail(StrPrintf("%s: epoll_ctl(ADD) peer %u: %s", who_.c_str(),
+                     peers_[i].id, strerror(errno)));
+    }
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (Peer& p : peers_) {
+    if (p.fd >= 0) ::close(p.fd);
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+SocketTransport::Peer* SocketTransport::FindPeer(std::uint32_t id) {
+  for (Peer& p : peers_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const SocketTransport::Peer* SocketTransport::FindPeer(
+    std::uint32_t id) const {
+  for (const Peer& p : peers_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+bool SocketTransport::Fail(const std::string& why) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = why;
+    TDR_LOG_ERROR("proc transport failed: %s", why.c_str());
+  }
+  return false;
+}
+
+void SocketTransport::UpdateInterest(Peer& peer) {
+  const bool want = !peer.sendq.empty();
+  if (want == peer.want_write || peer.fd < 0) return;
+  peer.want_write = want;
+  struct epoll_event ev;
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = static_cast<std::uint64_t>(&peer - peers_.data());
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, peer.fd, &ev) < 0) {
+    Fail(StrPrintf("%s: epoll_ctl(MOD) peer %u: %s", who_.c_str(), peer.id,
+                   strerror(errno)));
+  }
+}
+
+bool SocketTransport::FlushPeer(Peer& peer) {
+  while (!peer.sendq.empty()) {
+    struct iovec iov[kMaxIov];
+    int n = 0;
+    std::size_t want = 0;
+    for (const std::string& seg : peer.sendq) {
+      if (n == kMaxIov) break;
+      const std::size_t off = (n == 0) ? peer.send_off : 0;
+      iov[n].iov_base = const_cast<char*>(seg.data()) + off;
+      iov[n].iov_len = seg.size() - off;
+      want += iov[n].iov_len;
+      ++n;
+    }
+    ssize_t wrote = ::writev(peer.fd, iov, n);
+    ++stats_.writev_calls;
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateInterest(peer);
+        return true;  // kernel buffer full; EPOLLOUT resumes us
+      }
+      return Fail(StrPrintf("%s: writev to peer %u: %s", who_.c_str(),
+                            peer.id, strerror(errno)));
+    }
+    stats_.bytes_sent += static_cast<std::uint64_t>(wrote);
+    if (static_cast<std::size_t>(wrote) < want) ++stats_.partial_writes;
+    std::size_t remaining = static_cast<std::size_t>(wrote);
+    while (remaining > 0) {
+      std::string& head = peer.sendq.front();
+      const std::size_t head_left = head.size() - peer.send_off;
+      if (remaining >= head_left) {
+        remaining -= head_left;
+        peer.send_off = 0;
+        peer.sendq.pop_front();
+      } else {
+        peer.send_off += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  UpdateInterest(peer);
+  return true;
+}
+
+bool SocketTransport::ReadPeer(Peer& peer) {
+  for (;;) {
+    // Scatter the read across two chunks: a frame burst larger than one
+    // chunk lands in a single readv, and the decoder reassembles frames
+    // that straddle the boundary — the partial-read path under test.
+    char a[kReadChunk];
+    char b[kReadChunk];
+    struct iovec iov[2] = {{a, sizeof(a)}, {b, sizeof(b)}};
+    ssize_t got = ::readv(peer.fd, iov, 2);
+    ++stats_.read_calls;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return Fail(StrPrintf("%s: readv from peer %u: %s", who_.c_str(),
+                            peer.id, strerror(errno)));
+    }
+    if (got == 0) {
+      peer.hup = true;
+      return true;
+    }
+    stats_.bytes_received += static_cast<std::uint64_t>(got);
+    const std::size_t first =
+        static_cast<std::size_t>(got) < sizeof(a)
+            ? static_cast<std::size_t>(got)
+            : sizeof(a);
+    peer.decoder.Feed(a, first);
+    if (static_cast<std::size_t>(got) > sizeof(a)) {
+      peer.decoder.Feed(b, static_cast<std::size_t>(got) - sizeof(a));
+    }
+    Frame f;
+    for (;;) {
+      FrameDecoder::Status st = peer.decoder.Next(&f);
+      if (st == FrameDecoder::Status::kFrame) {
+        ++stats_.frames_received;
+        peer.inbox.push_back(std::move(f));
+        continue;
+      }
+      if (st == FrameDecoder::Status::kError) {
+        return Fail(StrPrintf("%s: stream from peer %u corrupt: %s",
+                              who_.c_str(), peer.id,
+                              peer.decoder.error().c_str()));
+      }
+      break;
+    }
+    stats_.partial_frames = 0;
+    for (const Peer& p : peers_) {
+      stats_.partial_frames += p.decoder.partial_frames();
+    }
+    if (static_cast<std::size_t>(got) < sizeof(a) + sizeof(b)) return true;
+  }
+}
+
+bool SocketTransport::Pump(int timeout_ms) {
+  if (failed_) return false;
+  struct epoll_event events[16];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 16, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return Fail(
+        StrPrintf("%s: epoll_wait: %s", who_.c_str(), strerror(errno)));
+  }
+  for (int i = 0; i < n; ++i) {
+    Peer& peer = peers_[events[i].data.u64];
+    if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+      if (!ReadPeer(peer)) return false;
+    }
+    if (events[i].events & EPOLLOUT) {
+      if (!FlushPeer(peer)) return false;
+    }
+  }
+  return !failed_;
+}
+
+bool SocketTransport::Send(std::uint32_t peer_id, const Frame& frame) {
+  if (failed_) return false;
+  Peer* peer = FindPeer(peer_id);
+  if (peer == nullptr) {
+    return Fail(StrPrintf("%s: send to unknown peer %u", who_.c_str(),
+                          peer_id));
+  }
+  peer->sendq.push_back(EncodeFrameToString(frame));
+  ++stats_.frames_sent;
+  return FlushPeer(*peer);
+}
+
+bool SocketTransport::TryNext(std::uint32_t peer_id, Frame* out) {
+  Peer* peer = FindPeer(peer_id);
+  if (peer == nullptr || peer->inbox.empty()) return false;
+  *out = std::move(peer->inbox.front());
+  peer->inbox.pop_front();
+  return true;
+}
+
+bool SocketTransport::WaitFrame(std::uint32_t peer_id, Frame* out,
+                                int timeout_ms) {
+  if (failed_) return false;
+  Peer* peer = FindPeer(peer_id);
+  if (peer == nullptr) {
+    return Fail(StrPrintf("%s: wait on unknown peer %u", who_.c_str(),
+                          peer_id));
+  }
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    if (TryNext(peer_id, out)) return true;
+    if (peer->hup) {
+      return Fail(StrPrintf("%s: peer %u hung up with no frame pending",
+                            who_.c_str(), peer_id));
+    }
+    const std::int64_t left = deadline - NowMs();
+    if (left <= 0) {
+      // A timeout is a protocol stall, not stream corruption — report
+      // it without poisoning the transport so the caller can decide.
+      error_ = StrPrintf("%s: timeout (%d ms) waiting for frame from %u",
+                         who_.c_str(), timeout_ms, peer_id);
+      return false;
+    }
+    ++stats_.eagain_waits;
+    if (!Pump(static_cast<int>(left < 100 ? left : 100))) return false;
+  }
+}
+
+bool SocketTransport::FlushAll(int timeout_ms) {
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    bool pending = false;
+    for (Peer& p : peers_) {
+      if (!FlushPeer(p)) return false;
+      pending = pending || !p.sendq.empty();
+    }
+    if (!pending) return true;
+    const std::int64_t left = deadline - NowMs();
+    if (left <= 0) {
+      error_ = StrPrintf("%s: timeout flushing send queues", who_.c_str());
+      return false;
+    }
+    if (!Pump(static_cast<int>(left < 100 ? left : 100))) return false;
+  }
+}
+
+bool SocketTransport::Idle(std::string* why) const {
+  for (const Peer& p : peers_) {
+    if (!p.sendq.empty()) {
+      if (why != nullptr) {
+        *why = StrPrintf("%zu unsent frame buffers for peer %u",
+                         p.sendq.size(), p.id);
+      }
+      return false;
+    }
+    if (!p.inbox.empty()) {
+      if (why != nullptr) {
+        *why = StrPrintf("%zu unconsumed frames from peer %u (first %s)",
+                         p.inbox.size(), p.id,
+                         p.inbox.front().ToString().c_str());
+      }
+      return false;
+    }
+    if (p.decoder.HasPartial()) {
+      if (why != nullptr) {
+        *why = StrPrintf("partial frame bytes from peer %u", p.id);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SocketTransport::PendingReceived(std::uint32_t peer_id) const {
+  const Peer* peer = FindPeer(peer_id);
+  return peer != nullptr ? peer->inbox.size() : 0;
+}
+
+std::size_t SocketTransport::QueuedSendBytes() const {
+  std::size_t total = 0;
+  for (const Peer& p : peers_) {
+    for (const std::string& seg : p.sendq) total += seg.size();
+    total -= p.send_off;
+  }
+  return total;
+}
+
+}  // namespace tdr::proc

@@ -1,0 +1,129 @@
+#ifndef TDR_PROC_SOCKET_TRANSPORT_H_
+#define TDR_PROC_SOCKET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "proc/frame.h"
+
+namespace tdr::proc {
+
+/// Framed, nonblocking message transport over a set of Unix-domain
+/// stream sockets — one per peer. This is the data plane of the
+/// multi-process backend: each node process owns one transport over
+/// its (num_nodes - 1) pair sockets, and the coordinator owns one over
+/// the per-child control pipes.
+///
+/// Mechanics:
+///  * Send() encodes into a per-peer send queue and flushes
+///    opportunistically with writev (scatter-gather over the queued
+///    frame buffers); a short write leaves the tail queued and arms
+///    EPOLLOUT, so a send NEVER blocks — in-memory queues are the
+///    backpressure buffer, which is what makes the delivery rendezvous
+///    deadlock-free (see DESIGN.md §15.3).
+///  * WaitFrame(peer) runs the epoll loop: every readable socket is
+///    drained into its peer's FrameDecoder (partial-read reassembly)
+///    and decoded frames queue per peer, every writable socket flushes
+///    its backlog — so a process blocked waiting on one peer still
+///    consumes traffic from, and completes handshakes with, all the
+///    others.
+///  * Any decode failure (bad magic/CRC/length), peer hangup with an
+///    undelivered partial frame, or poll error poisons the transport;
+///    failed()/error() report it.
+///
+/// Single-threaded by design, like everything inside one node process
+/// (the thread backend dispatches one event at a time, so hook calls
+/// are serialized even there).
+class SocketTransport {
+ public:
+  struct PeerEndpoint {
+    std::uint32_t id = 0;
+    int fd = -1;
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t writev_calls = 0;
+    std::uint64_t read_calls = 0;
+    std::uint64_t partial_writes = 0;   // short writev left bytes queued
+    std::uint64_t partial_frames = 0;   // frames reassembled across reads
+    std::uint64_t eagain_waits = 0;     // epoll cycles taken while waiting
+  };
+
+  /// Takes ownership of every fd (closed on destruction) and switches
+  /// them to nonblocking mode. `who` names the owner in error strings.
+  SocketTransport(std::vector<PeerEndpoint> peers, std::string who);
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Queues `frame` for `peer` and flushes as far as the socket
+  /// accepts. Returns false if the transport has failed.
+  bool Send(std::uint32_t peer, const Frame& frame);
+
+  /// Pops the next received frame from `peer`, blocking in the epoll
+  /// loop up to `timeout_ms`. Returns false on timeout, hangup, or
+  /// stream corruption (error() explains).
+  bool WaitFrame(std::uint32_t peer, Frame* out, int timeout_ms);
+
+  /// Nonblocking pop of an already-received frame.
+  bool TryNext(std::uint32_t peer, Frame* out);
+
+  /// Flushes every send queue to the kernel, pumping reads meanwhile
+  /// (so two mutually-flushing processes cannot wedge). False on
+  /// timeout or failure.
+  bool FlushAll(int timeout_ms);
+
+  /// True if nothing is buffered anywhere: no queued sends, no
+  /// received-but-unconsumed frames, no partial reassembly bytes. The
+  /// drain barrier asserts this — a leftover frame means the processes
+  /// disagreed about the schedule. `why` (optional) gets a diagnosis.
+  bool Idle(std::string* why) const;
+
+  std::size_t PendingReceived(std::uint32_t peer) const;
+  std::size_t QueuedSendBytes() const;
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    std::uint32_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::deque<Frame> inbox;
+    std::deque<std::string> sendq;
+    std::size_t send_off = 0;  // consumed prefix of sendq.front()
+    bool want_write = false;
+    bool hup = false;
+  };
+
+  Peer* FindPeer(std::uint32_t id);
+  const Peer* FindPeer(std::uint32_t id) const;
+  bool Fail(const std::string& why);
+  /// One epoll_wait cycle; drains readable peers, flushes writable
+  /// ones. Returns false on transport failure.
+  bool Pump(int timeout_ms);
+  bool FlushPeer(Peer& peer);
+  bool ReadPeer(Peer& peer);
+  void UpdateInterest(Peer& peer);
+
+  std::vector<Peer> peers_;
+  std::string who_;
+  int epoll_fd_ = -1;
+  Stats stats_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace tdr::proc
+
+#endif  // TDR_PROC_SOCKET_TRANSPORT_H_

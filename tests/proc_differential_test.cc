@@ -1,0 +1,314 @@
+// Multi-process differential suite: the same (seed, workload, scheme)
+// run in-process on the deterministic simulator (the oracle) and as a
+// REAL multi-process cluster — one forked OS process per node, every
+// cross-node delivery rendezvoused over a CRC-framed Unix-domain
+// socket (src/proc) — must produce IDENTICAL final state: full-state
+// digest, the per-shard digest matrix assembled from each owner
+// process's column, commit counts, metrics fingerprint, and the
+// invariant checker's verdict.
+//
+// The socket layer is load-bearing, not decorative: a receiver BLOCKS
+// on its peer's frame for every delivery it owns and field-verifies
+// endpoints, sequence number, virtual time, duplicate count, and the
+// schedule fingerprint — so a framing bug, reorder, loss, or
+// corruption fails the exact delivery that diverged (reported through
+// the coordinator), and any residual disagreement fails the digest
+// comparison here.
+//
+// On mismatch, the offending rows are dumped to
+// proc_mismatch_dump.json (cwd = build/tests under ctest) so the CI
+// proc job can upload them as an artifact.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/proc_harness.h"
+#include "obs/json.h"
+#include "proc/process_coordinator.h"
+
+namespace tdr::bench {
+namespace {
+
+constexpr char kMismatchDumpPath[] = "proc_mismatch_dump.json";
+
+// Seeds 1..N per scheme. Multi-process runs fork nodes+1 processes
+// each, so the tier-1 default is smaller than the in-process
+// differential suites'; the nightly ctest entry widens it via
+// TDR_DIFF_SEEDS (see tests/CMakeLists.txt).
+std::uint64_t SeedCount() {
+  if (const char* env = std::getenv("TDR_DIFF_SEEDS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::uint64_t>(n);
+  }
+  return 10;
+}
+
+// Which schemes put update traffic on the wire. Eager schemes
+// replicate inside the executor plan (synchronous multi-replica
+// steps, no messages), so only the lazy schemes' propagation — and
+// the batch shipper under them — rides net::Network and therefore
+// the sockets. Eager configs still prove the multi-process digest
+// contract; lazy configs additionally prove the transport is
+// load-bearing.
+bool SchemeUsesNetwork(SchemeKind kind) {
+  return kind == SchemeKind::kLazyGroup || kind == SchemeKind::kLazyMaster;
+}
+
+SimConfig SmallConfig(SchemeKind kind, std::uint64_t seed) {
+  SimConfig c;
+  c.kind = kind;
+  c.nodes = 4;
+  c.db_size = 96;
+  c.tps = 25;
+  c.actions = 4;
+  c.action_time = 0.01;
+  c.sim_seconds = 2;
+  c.seed = seed;
+  c.num_shards = 2;
+  // Quiesce before digesting and arm the checker: digests compare a
+  // drained cluster, verdicts compare the invariant channel.
+  c.drain = true;
+  c.run_invariant_checker = true;
+  if (kind == SchemeKind::kLazyGroup || kind == SchemeKind::kLazyMaster) {
+    // Exercise the batch plane (window + size cap) over the sockets.
+    c.batch_flush_window = 0.05;
+    c.batch_max_updates = 8;
+  }
+  return c;
+}
+
+/// Accumulates mismatch rows across the whole binary and rewrites the
+/// dump file each time, so a partial run still leaves evidence.
+class MismatchDump {
+ public:
+  static void Record(const SimConfig& config, const SimOutcome& oracle,
+                     const ProcOutcome& proc) {
+    obs::Json row = obs::Json::Object();
+    row.Set("scheme", SchemeKindName(config.kind));
+    row.Set("seed", config.seed);
+    row.Set("fault_plan", FaultPlanName(config));
+    row.Set("proc_ok", proc.ok);
+    row.Set("proc_error", proc.error);
+    row.Set("oracle_state_digest", HexDigest(oracle.state_digest));
+    row.Set("proc_state_digest", HexDigest(proc.state_digest));
+    row.Set("oracle_committed", oracle.committed);
+    row.Set("proc_committed", proc.committed);
+    obs::Json oracle_shards = obs::Json::Array();
+    for (std::uint64_t d : oracle.shard_digests) {
+      oracle_shards.Push(HexDigest(d));
+    }
+    row.Set("oracle_shard_digests", std::move(oracle_shards));
+    obs::Json proc_shards = obs::Json::Array();
+    for (std::uint64_t d : proc.shard_digests) {
+      proc_shards.Push(HexDigest(d));
+    }
+    row.Set("proc_shard_digests", std::move(proc_shards));
+    Rows().push_back(std::move(row));
+    Write();
+  }
+
+ private:
+  static std::string HexDigest(std::uint64_t d) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(d));
+    return buf;
+  }
+  static std::vector<obs::Json>& Rows() {
+    static std::vector<obs::Json> rows;
+    return rows;
+  }
+  static void Write() {
+    obs::Json doc = obs::Json::Object();
+    doc.Set("schema", "tdr.proc_mismatch_dump.v1");
+    obs::Json arr = obs::Json::Array();
+    for (const obs::Json& row : Rows()) arr.Push(row);
+    doc.Set("mismatches", std::move(arr));
+    if (std::FILE* f = std::fopen(kMismatchDumpPath, "w")) {
+      const std::string text = doc.Dump(2);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+  }
+};
+
+/// The full comparison battery; dumps a row on any failure.
+void ExpectProcMatchesOracle(const SimConfig& config) {
+  const SimOutcome oracle = RunScheme(config);
+  const ProcOutcome proc = RunSchemeMultiProcess(config);
+  bool matched = proc.ok;
+  EXPECT_TRUE(proc.ok) << proc.error;
+  if (proc.ok) {
+    // The headline: bit-identical full-state digest, and a per-shard
+    // matrix — spliced together from four different OS processes —
+    // equal to the oracle's element-wise.
+    matched = matched && oracle.state_digest == proc.state_digest;
+    EXPECT_EQ(oracle.state_digest, proc.state_digest);
+    matched = matched && oracle.shard_digests == proc.shard_digests;
+    EXPECT_EQ(oracle.shard_digests, proc.shard_digests);
+    matched = matched && oracle.committed == proc.committed;
+    EXPECT_EQ(oracle.committed, proc.committed);
+    // Zero tolerance on the invariant channel, both sides.
+    EXPECT_EQ(oracle.invariant_violations, 0u);
+    EXPECT_EQ(proc.invariant_violations, 0u);
+    // Every process derived the same fault plan from the shipped
+    // config as the oracle built locally.
+    EXPECT_EQ(proc.plan_fp, BuildFaultPlan(config).Fingerprint());
+    // Metrics agree wholesale (every counter/histogram/gauge), not
+    // just the digest channel.
+    EXPECT_EQ(proc.metrics_fp, MetricsFingerprint(oracle.metrics));
+    // Every shipped delivery was verified by its receiver and the
+    // frame counts balance; for network-borne schemes the sockets must
+    // have done real work, for eager schemes the wire must be silent
+    // (replication rides the executor plan, not messages).
+    const std::uint64_t shipped = proc.Counter("proc.deliveries_shipped");
+    EXPECT_EQ(shipped, proc.Counter("proc.deliveries_verified"));
+    EXPECT_EQ(proc.Counter("proc.frames_sent"),
+              proc.Counter("proc.frames_received"));
+    if (SchemeUsesNetwork(config.kind)) {
+      EXPECT_GT(shipped, 0u) << "no cross-node deliveries rode the sockets";
+    } else {
+      EXPECT_EQ(shipped, 0u) << "eager schemes must not touch the network";
+    }
+  }
+  if (!matched) MismatchDump::Record(config, oracle, proc);
+}
+
+class ProcDifferentialTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ProcDifferentialTest, ProcessBackendMatchesSimOracle) {
+  const SchemeKind kind = GetParam();
+  const std::uint64_t seeds = SeedCount();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE(std::string(SchemeKindName(kind)) +
+                 " seed=" + std::to_string(seed));
+    ExpectProcMatchesOracle(SmallConfig(kind, seed));
+  }
+}
+
+// Three scheme families (eager group, lazy group, lazy master) — the
+// acceptance floor — plus eager master for the ownership-routing path.
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ProcDifferentialTest,
+    ::testing::Values(SchemeKind::kEagerGroup, SchemeKind::kEagerMaster,
+                      SchemeKind::kLazyGroup, SchemeKind::kLazyMaster),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      std::string name{SchemeKindName(info.param)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Crash fault plan: the last node dies for the middle third and
+// recovers. The crashed node's OWN process keeps executing the shared
+// schedule (its inbox-drop and recovery events are deliveries too), so
+// the rendezvous protocol must agree across the crash boundary.
+TEST(ProcFaultDifferentialTest, CrashCycleMatchesOracle) {
+  for (SchemeKind kind : {SchemeKind::kEagerGroup, SchemeKind::kLazyMaster}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(std::string(SchemeKindName(kind)) +
+                   " crash seed=" + std::to_string(seed));
+      SimConfig c = SmallConfig(kind, seed);
+      c.fault_crash_cycle = true;
+      ExpectProcMatchesOracle(c);
+    }
+  }
+}
+
+// Partition fault plan: a named partition splits the last node off and
+// heals; link-parked messages resume in order on heal.
+TEST(ProcFaultDifferentialTest, PartitionCycleMatchesOracle) {
+  for (SchemeKind kind : {SchemeKind::kEagerGroup, SchemeKind::kLazyGroup}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(std::string(SchemeKindName(kind)) +
+                   " partition seed=" + std::to_string(seed));
+      SimConfig c = SmallConfig(kind, seed);
+      c.fault_partition_cycle = true;
+      ExpectProcMatchesOracle(c);
+    }
+  }
+}
+
+// Probabilistic drops (chaos): dropped messages never reach Arrive, so
+// they never rendezvous — both sides must agree on WHICH messages died
+// purely from the shared fault RNG stream. Lazy group, so the drops
+// land on real wire traffic.
+TEST(ProcFaultDifferentialTest, DropPlanMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("drop seed=" + std::to_string(seed));
+    SimConfig c = SmallConfig(SchemeKind::kLazyGroup, seed);
+    c.fault_drop_probability = 0.05;
+    ExpectProcMatchesOracle(c);
+  }
+}
+
+// Everything at once, durably: crash + partition with a group-commit
+// WAL in every node process (in-memory backend; each process runs the
+// full cluster's WAL traffic).
+TEST(ProcFaultDifferentialTest, CrashPlusPartitionWithWalMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    SCOPED_TRACE("crash+partition+wal seed=" + std::to_string(seed));
+    SimConfig c = SmallConfig(SchemeKind::kLazyMaster, seed);
+    c.fault_crash_cycle = true;
+    c.fault_partition_cycle = true;
+    c.durability = DurabilityMode::kGroup;
+    ExpectProcMatchesOracle(c);
+  }
+}
+
+// Node processes running the real-threads backend INSIDE each forked
+// process: both execution backends dispatch the same virtual (time,
+// seq) order, so the socket rendezvous must be oblivious to which one
+// is driving — and the digests must still match the kSim oracle.
+TEST(ProcBackendMatrixTest, ThreadBackendChildrenMatchSimOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("threads-children seed=" + std::to_string(seed));
+    SimConfig oracle_cfg = SmallConfig(SchemeKind::kLazyGroup, seed);
+    const SimOutcome oracle = RunScheme(oracle_cfg);
+    SimConfig proc_cfg = oracle_cfg;
+    proc_cfg.backend = RuntimeBackend::kThreads;
+    const ProcOutcome proc = RunSchemeMultiProcess(proc_cfg);
+    ASSERT_TRUE(proc.ok) << proc.error;
+    EXPECT_EQ(oracle.state_digest, proc.state_digest);
+    EXPECT_EQ(oracle.shard_digests, proc.shard_digests);
+    EXPECT_EQ(oracle.committed, proc.committed);
+    EXPECT_EQ(proc.invariant_violations, 0u);
+    if (oracle.state_digest != proc.state_digest) {
+      MismatchDump::Record(proc_cfg, oracle, proc);
+    }
+  }
+}
+
+// The coordinator's failure channel works: a config naming more nodes
+// than the coordinator forks must come back as a child kError, not a
+// hang or a crash.
+TEST(ProcCoordinatorFailureTest, ChildConfigMismatchIsReported) {
+  SimConfig c = SmallConfig(SchemeKind::kEagerGroup, 1);
+  std::string payload = SerializeSimConfig(c);
+  proc::ProcessCoordinator::Options opts;
+  opts.num_nodes = 2;  // config says 4
+  opts.config = payload;
+  opts.phase_timeout_ms = 30000;
+  proc::ProcessCoordinator::Result run = proc::ProcessCoordinator::Run(
+      opts, [](proc::ProcessCoordinator::NodeContext& ctx) {
+        SimConfig parsed;
+        std::string err;
+        if (!ParseSimConfig(ctx.config(), &parsed, &err)) ctx.Fail(err);
+        if (parsed.nodes != ctx.num_nodes()) {
+          ctx.Fail("config/coordinator node-count mismatch");
+        }
+        return proc::NodeReport{};
+      });
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("node-count mismatch"), std::string::npos)
+      << run.error;
+}
+
+}  // namespace
+}  // namespace tdr::bench

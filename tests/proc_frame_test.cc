@@ -1,0 +1,229 @@
+// Socket-framing codec suite, in wal_test's every-truncation style:
+// every byte-boundary split of a frame stream must reassemble to the
+// identical frames, every truncation must park as kNeedMore (never a
+// bogus frame), and every single-bit corruption of an encoded frame
+// must yield kError or kNeedMore — never a decoded frame. The decoder
+// is the integrity floor under the whole multi-process backend: a
+// stream that loses framing must become a hard error, not garbage
+// deliveries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proc/frame.h"
+
+namespace tdr::proc {
+namespace {
+
+Frame MakeFrame(std::uint64_t n, std::string payload = {}) {
+  Frame f;
+  f.kind = FrameKind::kDeliver;
+  f.origin = static_cast<std::uint32_t>(n % 5);
+  f.dest = static_cast<std::uint32_t>((n + 1) % 5);
+  f.pair_seq = n;
+  f.time_us = static_cast<std::int64_t>(1000 * n + 7);
+  f.copies = static_cast<std::uint32_t>(1 + n % 3);
+  f.schedule_fp = 0x9e3779b97f4a7c15ULL * (n + 1);
+  f.payload = std::move(payload);
+  return f;
+}
+
+std::vector<Frame> DecodeAll(FrameDecoder& dec) {
+  std::vector<Frame> out;
+  Frame f;
+  while (dec.Next(&f) == FrameDecoder::Status::kFrame) {
+    out.push_back(f);
+  }
+  return out;
+}
+
+TEST(FrameCodecTest, RoundTripsFixedFieldsAndPayload) {
+  const Frame sent = MakeFrame(42, "hello frame");
+  const std::string wire = EncodeFrameToString(sent);
+  EXPECT_EQ(wire.size(),
+            kFrameHeaderBytes + kFrameFixedBodyBytes + sent.payload.size());
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame got;
+  ASSERT_EQ(dec.Next(&got), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(dec.HasPartial());
+}
+
+TEST(FrameCodecTest, RoundTripsEmptyPayloadAndControlKinds) {
+  for (FrameKind kind :
+       {FrameKind::kDeliver, FrameKind::kConfig, FrameKind::kDrained,
+        FrameKind::kProceed, FrameKind::kReport, FrameKind::kError}) {
+    Frame sent = MakeFrame(7);
+    sent.kind = kind;
+    const std::string wire = EncodeFrameToString(sent);
+    FrameDecoder dec;
+    dec.Feed(wire.data(), wire.size());
+    Frame got;
+    ASSERT_EQ(dec.Next(&got), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(got, sent) << FrameKindName(kind);
+  }
+}
+
+// Every split point: a 3-frame stream fed as [0, cut) + [cut, end) for
+// every cut — header splits, fixed-field splits, payload splits, and
+// splits exactly on frame boundaries — must decode identically.
+TEST(FrameCodecTest, EverySplitPointReassembles) {
+  const std::vector<Frame> sent = {MakeFrame(1, "alpha"), MakeFrame(2),
+                                   MakeFrame(3, std::string(100, 'x'))};
+  std::string wire;
+  for (const Frame& f : sent) EncodeFrame(f, &wire);
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    FrameDecoder dec;
+    dec.Feed(wire.data(), cut);
+    std::vector<Frame> got = DecodeAll(dec);
+    EXPECT_FALSE(dec.failed());
+    dec.Feed(wire.data() + cut, wire.size() - cut);
+    for (Frame& f : DecodeAll(dec)) got.push_back(std::move(f));
+    ASSERT_FALSE(dec.failed()) << dec.error();
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i], sent[i]) << "frame " << i;
+    }
+    EXPECT_FALSE(dec.HasPartial());
+    EXPECT_EQ(dec.frames_decoded(), sent.size());
+  }
+}
+
+// One byte at a time — the pathological split — and the reassembly
+// counter must report every frame as split-reassembled.
+TEST(FrameCodecTest, ByteAtATimeReassembles) {
+  const std::vector<Frame> sent = {MakeFrame(1, "drip"), MakeFrame(2, "feed")};
+  std::string wire;
+  for (const Frame& f : sent) EncodeFrame(f, &wire);
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  for (char byte : wire) {
+    dec.Feed(&byte, 1);
+    for (Frame& f : DecodeAll(dec)) got.push_back(std::move(f));
+    ASSERT_FALSE(dec.failed()) << dec.error();
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  EXPECT_EQ(got[0], sent[0]);
+  EXPECT_EQ(got[1], sent[1]);
+  EXPECT_EQ(dec.partial_frames(), sent.size());
+  EXPECT_EQ(dec.bytes_fed(), wire.size());
+}
+
+// Every truncation length: a prefix of a frame is pending data, never
+// an error and never a frame — and completing the suffix later yields
+// the original.
+TEST(FrameCodecTest, EveryTruncationParksThenCompletes) {
+  const Frame sent = MakeFrame(9, "truncate me carefully");
+  const std::string wire = EncodeFrameToString(sent);
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    FrameDecoder dec;
+    dec.Feed(wire.data(), keep);
+    Frame got;
+    EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kNeedMore);
+    EXPECT_FALSE(dec.failed());
+    EXPECT_EQ(dec.HasPartial(), keep > 0);
+    dec.Feed(wire.data() + keep, wire.size() - keep);
+    ASSERT_EQ(dec.Next(&got), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(got, sent);
+  }
+}
+
+// Every single-bit corruption, anywhere in header or body: the decoder
+// must never produce a frame from the corrupted bytes. (A length flip
+// can legitimately park as kNeedMore — the stream then starves or the
+// next bytes fail the CRC — but nothing ever decodes.)
+TEST(FrameCodecTest, EveryBitFlipIsRejected) {
+  const Frame sent = MakeFrame(5, "integrity");
+  const std::string wire = EncodeFrameToString(sent);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = wire;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      FrameDecoder dec;
+      dec.Feed(bad.data(), bad.size());
+      Frame got;
+      const FrameDecoder::Status st = dec.Next(&got);
+      EXPECT_NE(st, FrameDecoder::Status::kFrame)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// A bit flip in frame 1 of a 2-frame stream must also poison frame 2:
+// after lost framing nothing downstream is trustworthy.
+TEST(FrameCodecTest, CorruptionPoisonsTheRestOfTheStream) {
+  std::string wire;
+  EncodeFrame(MakeFrame(1, "first"), &wire);
+  const std::size_t second_start = wire.size();
+  EncodeFrame(MakeFrame(2, "second"), &wire);
+  // Flip one payload bit of the FIRST frame (body corruption, caught
+  // by CRC, not by magic).
+  std::string bad = wire;
+  bad[kFrameHeaderBytes + kFrameFixedBodyBytes] ^= 0x01;
+  FrameDecoder dec;
+  dec.Feed(bad.data(), bad.size());
+  Frame got;
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+  EXPECT_TRUE(dec.failed());
+  EXPECT_NE(dec.error().find("CRC"), std::string::npos) << dec.error();
+  // Poisoned for good: the intact second frame is unreachable, and
+  // feeding more data does not resurrect the stream.
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+  dec.Feed(wire.data() + second_start, wire.size() - second_start);
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodecTest, BadMagicIsAHardError) {
+  std::string wire = EncodeFrameToString(MakeFrame(1));
+  wire[0] = static_cast<char>(wire[0] ^ 0xff);
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame got;
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+  EXPECT_NE(dec.error().find("magic"), std::string::npos) << dec.error();
+}
+
+TEST(FrameCodecTest, OversizedLengthIsAHardError) {
+  std::string wire = EncodeFrameToString(MakeFrame(1));
+  // Overwrite the little-endian length field with cap + 1.
+  const std::uint32_t huge = kMaxFrameBodyBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[4 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame got;
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+  EXPECT_NE(dec.error().find("cap"), std::string::npos) << dec.error();
+}
+
+TEST(FrameCodecTest, LengthBelowFixedFieldsIsAHardError) {
+  std::string wire = EncodeFrameToString(MakeFrame(1));
+  const std::uint32_t tiny = kFrameFixedBodyBytes - 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[4 + i] = static_cast<char>((tiny >> (8 * i)) & 0xff);
+  }
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame got;
+  EXPECT_EQ(dec.Next(&got), FrameDecoder::Status::kError);
+  EXPECT_NE(dec.error().find("below fixed"), std::string::npos)
+      << dec.error();
+}
+
+TEST(FrameCodecTest, HashBytesIsOrderSensitive) {
+  const char a[] = "ab";
+  const char b[] = "ba";
+  EXPECT_NE(HashBytes(a, 2), HashBytes(b, 2));
+  EXPECT_EQ(HashBytes(a, 2), HashBytes(a, 2));
+}
+
+}  // namespace
+}  // namespace tdr::proc
