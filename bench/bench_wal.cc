@@ -19,8 +19,12 @@
 // else the binary exits nonzero (a perf regression in the committer is
 // a test failure, not a footnote). A second section measures the
 // recovery side: wall-clock replay rate of a multi-segment log through
-// WalRecovery, the "how long is restart" number. Results land in
-// BENCH_wal.json (schema-checked by tools/check_report.py in CI).
+// WalRecovery, the "how long is restart" number. A third section puts
+// a real price on the durability line: batched appends against a
+// file-backed WAL with the fsync knob off (buffered writes, the test
+// default) vs on (fdatasync per flush) — the honest per-sync cost on
+// this machine's storage. Results land in BENCH_wal.json
+// (schema-checked by tools/check_report.py in CI).
 
 #include <chrono>
 #include <cstdio>
@@ -146,6 +150,50 @@ RecoveryRate MeasureRecoveryReplay() {
   return rate;
 }
 
+struct FsyncRate {
+  std::uint64_t records = 0;
+  std::uint64_t syncs = 0;
+  double wall_seconds = 0;
+  double syncs_per_sec = 0;
+};
+
+/// Appends `kFsyncRecords` records to a real file-backed WAL in
+/// batches of 64, completing a flush per batch; with `fsync` on every
+/// flush is an fdatasync. The off/on delta is the real durability
+/// price per sync on this filesystem (the simulated flush_latency in
+/// E16 above models this cost in virtual time).
+FsyncRate MeasureFsyncAppends(bool fsync) {
+  constexpr std::uint64_t kFsyncRecords = 8192;
+  constexpr std::uint64_t kFsyncBatch = 64;
+  const std::string dir = "/tmp/tdr_bench_wal_fsync";
+  wal::FileWalBackend backend(dir, /*num_nodes=*/1, fsync);
+  wal::Wal::Options wopts;
+  wal::Wal wal(0, &backend, wopts);
+  wal.Open(1);
+
+  FsyncRate rate;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 1; i <= kFsyncRecords; ++i) {
+    wal.Append(/*txn=*/i, /*oid=*/i % kDbSize, /*shard=*/0,
+               Timestamp{i - 1, 0}, Timestamp{i, 0},
+               Value(static_cast<std::int64_t>(i)));
+    if (i % kFsyncBatch == 0) {
+      wal.CompleteFlush(wal.BeginFlush());
+      ++rate.syncs;
+    }
+  }
+  wal.CompleteFlush(wal.BeginFlush());
+  ++rate.syncs;
+  const auto stop = std::chrono::steady_clock::now();
+  rate.records = kFsyncRecords;
+  rate.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  rate.syncs_per_sec =
+      rate.wall_seconds > 0
+          ? static_cast<double>(rate.syncs) / rate.wall_seconds
+          : 0;
+  return rate;
+}
+
 obs::Json ThroughputRow(DurabilityMode mode, const ThroughputResult& r) {
   obs::Json row = obs::Json::Object();
   row.Set("section", "throughput");
@@ -230,6 +278,28 @@ int Main() {
     report.AddRow(std::move(row));
   }
   report.SetConfig("group_recovered_ratio", recovered_ratio);
+
+  // The real-fsync rows: identical append/flush traffic, buffered vs
+  // fdatasync. Wall-clock columns measure this machine's storage and
+  // are excluded from the regression gate.
+  std::printf("\n%10s | %8s | %7s | %10s | %12s\n", "fsync", "records",
+              "syncs", "wall s", "syncs/s");
+  std::printf("-----------+----------+---------+------------+-------------\n");
+  for (bool fsync : {false, true}) {
+    const FsyncRate rate = MeasureFsyncAppends(fsync);
+    std::printf("%10s | %8llu | %7llu | %10.4f | %12.0f\n",
+                fsync ? "on" : "off", (unsigned long long)rate.records,
+                (unsigned long long)rate.syncs, rate.wall_seconds,
+                rate.syncs_per_sec);
+    obs::Json row = obs::Json::Object();
+    row.Set("section", "fsync_appends");
+    row.Set("fsync", fsync ? "on" : "off");
+    row.Set("records", rate.records);
+    row.Set("syncs", rate.syncs);
+    row.Set("wall_seconds", rate.wall_seconds);
+    row.Set("syncs_per_sec", rate.syncs_per_sec);
+    report.AddRow(std::move(row));
+  }
 
   WriteReport(report, "BENCH_wal.json");
 

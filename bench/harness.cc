@@ -48,6 +48,13 @@ std::string_view SchemeKindName(SchemeKind kind) {
   return "?";
 }
 
+std::string_view DispatchLabel(const SimConfig& config) {
+  if (config.dispatch == runtime::ThreadRuntime::DispatchMode::kTurnBased) {
+    return "turn";
+  }
+  return config.steal_untagged ? "epoch+steal" : "epoch";
+}
+
 analytic::ModelParams ToModelParams(const SimConfig& config) {
   analytic::ModelParams p;
   p.db_size = static_cast<double>(config.db_size);
@@ -98,7 +105,15 @@ SimOutcome RunScheme(const SimConfig& config, const RunHooks& hooks) {
   copts.enable_metrics = config.enable_metrics;
   copts.backend = config.backend;
   copts.time_scale = config.time_scale;
+  copts.runtime.dispatch = config.dispatch;
+  copts.runtime.steal_untagged = config.steal_untagged;
+  copts.runtime.mailbox_capacity =
+      static_cast<std::size_t>(config.mailbox_capacity);
+  copts.runtime.overflow = config.overflow_shed
+                               ? runtime::ThreadRuntime::OverflowPolicy::kShed
+                               : runtime::ThreadRuntime::OverflowPolicy::kBlock;
   copts.wal.mode = config.durability;
+  copts.wal.fsync = config.wal_fsync;
   copts.wal.wal_dir = config.wal_dir;
   copts.wal.flush_latency = SimTime::Seconds(config.wal_flush_latency);
   copts.wal.group_window = SimTime::Seconds(config.wal_group_window);
@@ -203,6 +218,7 @@ SimOutcome RunScheme(const SimConfig& config, const RunHooks& hooks) {
 
   WorkloadDriver::Options dopts;
   dopts.tps_per_node = config.tps;
+  dopts.poisson_arrivals = config.poisson_arrivals;
   dopts.workload.actions = config.actions;
   dopts.workload.mix = config.mix;
   if (config.hot_shards > 0 && config.hot_fraction > 0) {
@@ -291,9 +307,15 @@ SimOutcome RunScheme(const SimConfig& config, const RunHooks& hooks) {
     // are final before the snapshot below.
     cluster.thread_runtime()->Shutdown();
     outcome.runtime_dispatched = cluster.thread_runtime()->dispatched();
+    outcome.runtime_epochs = cluster.thread_runtime()->epochs();
+    outcome.runtime_epoch_width_max =
+        cluster.thread_runtime()->epoch_width_max();
+    outcome.runtime_steals = cluster.thread_runtime()->steal_count();
+    outcome.runtime_sheds = cluster.thread_runtime()->shed_count();
     double sim_s = cluster.thread_runtime()->sim_seconds();
+    outcome.runtime_wall_seconds = cluster.thread_runtime()->wall_seconds();
     outcome.wall_sim_ratio =
-        sim_s > 0 ? cluster.thread_runtime()->wall_seconds() / sim_s : 0;
+        sim_s > 0 ? outcome.runtime_wall_seconds / sim_s : 0;
   }
   if (config.enable_metrics) {
     // Export the simulator's own health gauges before snapshotting;
@@ -424,6 +446,11 @@ obs::Json ReportRow(const SimConfig& config, const SimOutcome& out) {
     row.Set("wal_flushes", out.wal_flushes);
     row.Set("wal_recoveries", out.wal_recoveries);
     row.Set("wal_replayed", out.wal_replayed);
+  }
+  if (config.backend == RuntimeBackend::kThreads) {
+    row.Set("dispatch", DispatchLabel(config));
+    row.Set("runtime_epochs", out.runtime_epochs);
+    row.Set("runtime_epoch_width_max", out.runtime_epoch_width_max);
   }
   if (config.num_shards > 1) {
     row.Set("num_shards", static_cast<std::uint64_t>(config.num_shards));

@@ -37,6 +37,12 @@ enum class SchemeKind {
 
 std::string_view SchemeKindName(SchemeKind kind);
 
+struct SimConfig;
+
+/// Canonical label of a threads config's dispatch mode: "turn",
+/// "epoch", or "epoch+steal". Report rows and E18's table carry it.
+std::string_view DispatchLabel(const SimConfig& config);
+
 /// One simulated run of the Table-2 workload model under a scheme.
 struct SimConfig {
   SchemeKind kind = SchemeKind::kEagerGroup;
@@ -48,6 +54,12 @@ struct SimConfig {
   double sim_seconds = 200;       // measurement window
   std::uint64_t seed = 42;
   OpMix mix = OpMix::AllWrites();
+  /// Arrival process per node: exponential gaps (the Table-2 model) or,
+  /// when false, a fixed 1/tps cadence. Deterministic gaps make every
+  /// node's arrivals land on the SAME virtual timestamps — the lockstep
+  /// load shape E18 uses to give epoch dispatch same-time waves to
+  /// parallelize (Poisson arrivals almost never collide in time).
+  bool poisson_arrivals = true;
 
   // Sharded + batched data plane (the bench_sharding knobs).
   /// Range shards of the key space (Cluster::Options::num_shards);
@@ -88,6 +100,8 @@ struct SimConfig {
   std::uint64_t wal_group_max_records = 64;
   std::uint64_t wal_segment_bytes = 64 * 1024;
   std::string wal_dir;  // empty = in-memory WAL backend
+  /// File backend only: real fdatasync when the durable line moves.
+  bool wal_fsync = false;
 
   /// If false the cluster is built with no metrics registry: every
   /// handle is a no-op. This is the baseline bench_headline uses to
@@ -106,6 +120,19 @@ struct SimConfig {
   RuntimeBackend backend = RuntimeBackend::kSim;
   /// kThreads pacing: wall-seconds per sim-second (0 free-runs).
   double time_scale = 0;
+  /// kThreads dispatch: turn-based (one event per coordinator round
+  /// trip) or epoch-parallel (same-timestamp events on distinct nodes
+  /// run concurrently). Digest-identical either way.
+  runtime::ThreadRuntime::DispatchMode dispatch =
+      runtime::ThreadRuntime::DispatchMode::kTurnBased;
+  /// Epoch dispatch only: untagged exclusive events ride worker lanes
+  /// and parallel-class spillover enters a work-stealing pool.
+  bool steal_untagged = false;
+  /// Mailbox depth bound; 0 = unbounded (no backpressure).
+  std::uint64_t mailbox_capacity = 0;
+  /// With a bounded mailbox: shed overfull pushes back to the sender
+  /// instead of blocking it.
+  bool overflow_shed = false;
   /// If true, drain all in-flight traffic after the measurement window
   /// (flush batch planes, run the event loop dry, lazy-master
   /// catch-up) before capturing digests — faulted runs always drain.
@@ -146,9 +173,20 @@ struct SimOutcome {
   /// kThreads only: events executed on worker threads (deterministic —
   /// a function of the event schedule, not of thread timing).
   std::uint64_t runtime_dispatched = 0;
+  /// Epoch dispatch only: waves executed / widest wave (deterministic —
+  /// functions of the event schedule).
+  std::uint64_t runtime_epochs = 0;
+  std::uint64_t runtime_epoch_width_max = 0;
+  /// Epoch dispatch only: steal-pool grabs and backpressure sheds
+  /// (nondeterministic — excluded from equivalence comparisons).
+  std::uint64_t runtime_steals = 0;
+  std::uint64_t runtime_sheds = 0;
   /// kThreads only: wall-seconds per sim-second actually achieved
   /// (nondeterministic; excluded from any equivalence comparison).
   double wall_sim_ratio = 0;
+  /// kThreads only: raw wall-clock seconds inside Run/RunUntil
+  /// (nondeterministic) — the numerator of E18's speedup column.
+  double runtime_wall_seconds = 0;
   /// Deterministic snapshot of the cluster's full registry (empty when
   /// SimConfig::enable_metrics is false).
   obs::MetricsSnapshot metrics;

@@ -13,7 +13,7 @@ Cluster::Cluster(Options options)
         &shards_));
   }
   if (options_.backend == RuntimeBackend::kThreads) {
-    runtime::ThreadRuntime::Options topts;
+    runtime::ThreadRuntime::Options topts = options_.runtime;
     topts.time_scale = options_.time_scale;
     thread_rt_ = std::make_unique<runtime::ThreadRuntime>(
         &sim_, options_.num_nodes, topts, metrics_or_null());

@@ -15,47 +15,63 @@ void StopBarrier::ArriveAndWait() {
   cv_.wait(lock, [this, gen] { return generation_ != gen; });
 }
 
-bool Mailbox::Push(Task* task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return false;
-    task->next = nullptr;
-    if (tail_ != nullptr) {
-      tail_->next = task;
-    } else {
-      head_ = task;
-    }
-    tail_ = task;
-    ++depth_;
-    ++pushed_;
-    if (depth_ > max_depth_) max_depth_ = depth_;
+Mailbox::PushResult Mailbox::PushChain(Task* task, bool block_when_full) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushResult::kClosed;
+  // Full means the bound is set and this chain would overflow it. An
+  // empty queue always admits the chain, even one heavier than the
+  // whole capacity — oversized chains make progress instead of
+  // deadlocking the producer.
+  auto full = [this, task] {
+    return capacity_ != 0 && depth_ != 0 && depth_ + task->weight > capacity_;
+  };
+  if (full()) {
+    if (!block_when_full) return PushResult::kFull;
+    ++stalls_;
+    room_cv_.wait(lock, [this, &full] { return closed_ || !full(); });
+    if (closed_) return PushResult::kClosed;
   }
+  task->next = nullptr;
+  if (tail_ != nullptr) {
+    tail_->next = task;
+  } else {
+    head_ = task;
+  }
+  tail_ = task;
+  depth_ += task->weight;
+  ++pushed_;
+  if (depth_ > max_depth_) max_depth_ = depth_;
+  lock.unlock();
   cv_.notify_one();
-  return true;
+  return PushResult::kOk;
 }
 
 Task* Mailbox::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return head_ != nullptr || closed_; });
   Task* task = head_;
-  if (task != nullptr) {
-    head_ = task->next;
-    if (head_ == nullptr) tail_ = nullptr;
-    --depth_;
-    task->next = nullptr;
-  }
+  if (task == nullptr) return nullptr;
+  head_ = task->next;
+  if (head_ == nullptr) tail_ = nullptr;
+  depth_ -= task->weight;
+  task->next = nullptr;
+  const bool bounded = capacity_ != 0;
+  lock.unlock();
+  if (bounded) room_cv_.notify_all();
   return task;
 }
 
 Task* Mailbox::TryPop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   Task* task = head_;
-  if (task != nullptr) {
-    head_ = task->next;
-    if (head_ == nullptr) tail_ = nullptr;
-    --depth_;
-    task->next = nullptr;
-  }
+  if (task == nullptr) return nullptr;
+  head_ = task->next;
+  if (head_ == nullptr) tail_ = nullptr;
+  depth_ -= task->weight;
+  task->next = nullptr;
+  const bool bounded = capacity_ != 0;
+  lock.unlock();
+  if (bounded) room_cv_.notify_all();
   return task;
 }
 
@@ -65,6 +81,7 @@ void Mailbox::Close() {
     closed_ = true;
   }
   cv_.notify_all();
+  room_cv_.notify_all();
 }
 
 }  // namespace tdr::runtime

@@ -82,6 +82,34 @@ class Runtime {
     return ScheduleAfter(delay, std::move(fn));
   }
 
+  /// Parallel-class variants: the caller PROMISES that `fn` touches
+  /// only node-private state — no executor, no message pool, no shared
+  /// metric cells, no reads of other nodes — so the thread backend's
+  /// epoch dispatcher may overlap it with same-timestamp parallel
+  /// events on other nodes. Restrictions on the callback under epoch
+  /// dispatch (enforced by convention, audited at the call sites):
+  ///
+  ///  * It may call Schedule*/ScheduleParallel*; the request is
+  ///    deferred to the group barrier and replayed in deterministic
+  ///    order, and the call returns sim::kInvalidEventId — treat these
+  ///    schedules as fire-and-forget.
+  ///  * It must not Cancel, must not call Run*/Peek-style methods, and
+  ///    must not record metrics.
+  ///
+  /// The base implementations forward to the tagged variants: the
+  /// simulator (and turn-based dispatch) runs parallel-class events
+  /// exactly like any other, which is what makes the sim the oracle
+  /// for the parallel schedule.
+  virtual sim::EventId ScheduleParallelAtNode(std::uint32_t node, SimTime when,
+                                              sim::Callback fn) {
+    return ScheduleAtNode(node, when, std::move(fn));
+  }
+  virtual sim::EventId ScheduleParallelAfterNode(std::uint32_t node,
+                                                 SimTime delay,
+                                                 sim::Callback fn) {
+    return ScheduleAfterNode(node, delay, std::move(fn));
+  }
+
  protected:
   Runtime() = default;
   Runtime(const Runtime&) = delete;

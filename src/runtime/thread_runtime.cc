@@ -1,5 +1,6 @@
 #include "runtime/thread_runtime.h"
 
+#include <cassert>
 #include <utility>
 
 namespace tdr::runtime {
@@ -34,6 +35,12 @@ class RunScope {
   SimTime sim_start_;
 };
 
+/// The task whose callback is executing on this thread — the context
+/// that routes Schedule* calls from inside a parallel group into the
+/// task's deferred buffer. Thread-local so concurrent parallel-class
+/// tasks each see their own context.
+thread_local Task* tls_current_task = nullptr;
+
 }  // namespace
 
 ThreadRuntime::ThreadRuntime(sim::Simulator* clock, std::uint32_t num_nodes,
@@ -41,10 +48,16 @@ ThreadRuntime::ThreadRuntime(sim::Simulator* clock, std::uint32_t num_nodes,
     : clock_(clock),
       options_(options),
       metrics_(metrics),
+      pool_(std::make_shared<TaskPool>(
+          options.task_pool_capacity == 0 ? 1 : options.task_pool_capacity)),
       barrier_(num_nodes) {
+  if (metrics_ != nullptr && options_.dispatch == DispatchMode::kEpoch) {
+    epoch_width_profile_ = metrics_->GetProfile("runtime.epoch_width");
+  }
   workers_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_[i]->box.set_capacity(options_.mailbox_capacity);
   }
   // Spawn only after every Worker exists: a worker's loop touches just
   // its own slot, but the vector must not grow under it.
@@ -55,61 +68,463 @@ ThreadRuntime::ThreadRuntime(sim::Simulator* clock, std::uint32_t num_nodes,
 
 ThreadRuntime::~ThreadRuntime() { Shutdown(); }
 
-sim::EventId ThreadRuntime::ScheduleAtNode(std::uint32_t node, SimTime when,
-                                           sim::Callback fn) {
-  // The wrapper owns the real callback and lives in the clock's slab;
-  // at fire time (coordinator) it hands the callback to the node's
-  // worker and blocks until done, so the capture outlives execution.
-  // For repeat series the same wrapper fires every tick.
-  return clock_->ScheduleAt(when, [this, node, fn = std::move(fn)]() mutable {
-    Dispatch(node, &fn);
-  });
-}
-
-sim::EventId ThreadRuntime::ScheduleAfterNode(std::uint32_t node,
-                                              SimTime delay,
-                                              sim::Callback fn) {
-  return ScheduleAtNode(
-      node, clock_->Now() + (delay < SimTime::Zero() ? SimTime::Zero() : delay),
-      std::move(fn));
+sim::EventId ThreadRuntime::Schedule(std::uint32_t node, SimTime when,
+                                     sim::Callback fn, ExecClass cls) {
+  Task* cur = tls_current_task;
+  if (cur != nullptr && cur->parallel_group) {
+    // Called from inside an in-flight parallel group: the shared event
+    // core is off limits, so buffer the request on the calling task.
+    // The coordinator replays buffers in plan-slot order at the group
+    // barrier, which assigns exactly the sequence numbers the serial
+    // oracle would have.
+    DeferredSchedule d;
+    d.node = node;
+    d.when = when;
+    d.cls = cls;
+    d.fn = std::move(fn);
+    cur->deferred.push_back(std::move(d));
+    return sim::kInvalidEventId;
+  }
+  // Pooled wrapper: the callback moves into the task at schedule time,
+  // so the lambda registered with the clock captures two pointers and
+  // stays inside sim::Callback's inline buffer — no allocation.
+  Task* t = pool_->Acquire();
+  t->owned = std::move(fn);
+  t->node = node;
+  t->cls = cls;
+  sim::EventId id =
+      clock_->ScheduleAt(when, [this, lease = TaskLease(pool_, t)]() mutable {
+        OnWrapperFire(lease.take());
+      });
+  t->origin = id;
+  return id;
 }
 
 sim::EventId ThreadRuntime::RepeatEvery(SimTime interval, sim::Callback fn) {
-  return clock_->RepeatEvery(interval,
-                             [this, fn = std::move(fn)]() mutable {
-                               Dispatch(kAnyNode, &fn);
-                             });
+  assert(!(tls_current_task != nullptr && tls_current_task->parallel_group) &&
+         "RepeatEvery from a parallel-class task is unsupported");
+  // The series' task holds the callback for its whole life and every
+  // tick runs it borrowed (`fn` set): the wrapper's lease releases the
+  // task when the series is cancelled or the clock is torn down.
+  Task* t = pool_->Acquire();
+  t->owned = std::move(fn);
+  t->fn = &t->owned;
+  t->node = kAnyNode;
+  sim::EventId id = clock_->RepeatEvery(
+      interval, [this, lease = TaskLease(pool_, t)]() mutable {
+        OnRepeatFire(lease.get());
+      });
+  t->origin = id;
+  return id;
 }
 
-void ThreadRuntime::Dispatch(std::uint32_t node, sim::Callback* fn) {
+bool ThreadRuntime::Cancel(sim::EventId id) {
+  if (id == sim::kInvalidEventId) return false;
+  bool hit = clock_->Cancel(id);
+  // A same-timestamp cancel may target an event already collected into
+  // the executing wave (popped from the clock, not yet run): sweep the
+  // not-yet-executed plan suffix. Only exclusive tasks may Cancel, and
+  // they run in strict plan order, so plan_cursor_ is the exact floor.
+  Task* self = tls_current_task;
+  for (std::size_t k = plan_cursor_; k < plan_.size(); ++k) {
+    Task* t = plan_[k];
+    if (t == self || t->cancelled || t->origin != id) continue;
+    t->cancelled = true;
+    hit = true;
+    break;
+  }
+  return hit;
+}
+
+void ThreadRuntime::OnWrapperFire(Task* task) {
+  if (collecting_) {
+    plan_.push_back(task);
+    return;
+  }
+  RunImmediate(task);
+}
+
+void ThreadRuntime::OnRepeatFire(Task* task) {
+  if (collecting_) {
+    plan_.push_back(task);
+    return;
+  }
+  RunImmediate(task);
+}
+
+void ThreadRuntime::RunImmediate(Task* task) {
+  const bool one_shot = task->fn == nullptr;
+  const std::uint32_t node = task->node;
   if (node >= workers_.size() || stopped_) {
     ++inline_events_;
-    (*fn)();
-    return;
+    RunTaskBody(task);
+  } else {
+    task->done = &gate_;
+    task->weight = 1;
+    gate_.Reset();
+    if (workers_[node]->box.Push(task)) {
+      ++dispatched_;
+      gate_.Wait();
+    } else {
+      // Closed mailbox (shutdown race): degrade to inline execution —
+      // same order, same result, just no thread hop.
+      task->done = nullptr;
+      ++inline_events_;
+      RunTaskBody(task);
+    }
   }
-  Task task;
-  task.fn = fn;
-  task.done = &gate_;
-  gate_.Reset();
-  if (!workers_[node]->box.Push(&task)) {
-    // Closed mailbox (shutdown race): degrade to inline execution —
-    // same order, same result, just no thread hop.
-    ++inline_events_;
-    (*fn)();
-    return;
+  if (one_shot) {
+    pool_->Release(task);
+  } else {
+    task->done = nullptr;  // repeat tick: the wrapper keeps the task
   }
-  ++dispatched_;
-  gate_.Wait();
+}
+
+void ThreadRuntime::RunTaskBody(Task* task) {
+  Task* prev = tls_current_task;
+  tls_current_task = task;
+  if (task->fn != nullptr) {
+    (*task->fn)();
+  } else {
+    task->owned();
+    // Destroy the capture (releasing pooled payload leases etc.) right
+    // after the call, at the same serial position the sim oracle does.
+    task->owned = nullptr;
+  }
+  tls_current_task = prev;
+}
+
+void ThreadRuntime::RunChainFrom(Task* head, Worker* worker) {
+  Task* chain = head;
+  while (chain != nullptr) {
+    Task* next_chain = nullptr;
+    for (Task* t = chain; t != nullptr;) {
+      Task* next = t->run_next;
+      if (t->cls == ExecClass::kExclusive && plan_cursor_ < t->plan_index) {
+        // Execution progress for Cancel's sweep; ordered by the baton.
+        plan_cursor_ = t->plan_index;
+      }
+      if (!t->cancelled) {
+        if (worker != nullptr) {
+          SteadyClock::time_point start = SteadyClock::now();
+          RunTaskBody(t);
+          worker->busy += SteadyClock::now() - start;
+          ++worker->executed;
+        } else {
+          RunTaskBody(t);
+        }
+      }
+      if (next == nullptr) {
+        // Chain tail. Read everything needed before signalling: once
+        // the gate fires the coordinator may recycle the task.
+        Task* succ = t->chain_next;
+        EpochGate* arrive = t->epoch_gate;
+        Gate* done = t->done;
+        if (succ != nullptr) {
+          // Baton hand-off: push the successor chain straight to its
+          // worker — one wake per node switch instead of two per event.
+          Mailbox& box = workers_[succ->exec_node]->box;
+          Mailbox::PushResult r = box.PushChain(
+              succ, options_.overflow == OverflowPolicy::kBlock);
+          if (r != Mailbox::PushResult::kOk) {
+            if (r == Mailbox::PushResult::kFull) {
+              sheds_.fetch_add(1, std::memory_order_relaxed);
+            }
+            next_chain = succ;  // full or closed: run it on this thread
+          }
+        }
+        if (arrive != nullptr) {
+          arrive->Arrive();
+          if (worker != nullptr && options_.steal_untagged) {
+            DrainStealPool(worker);
+          }
+        }
+        if (done != nullptr) done->Signal();
+      }
+      t = next;
+    }
+    chain = next_chain;
+  }
+}
+
+void ThreadRuntime::DrainStealPool(Worker* worker) {
+  while (Task* t = steal_box_.TryPop()) {
+    if (!t->cancelled) {
+      if (worker != nullptr) {
+        SteadyClock::time_point start = SteadyClock::now();
+        RunTaskBody(t);
+        worker->busy += SteadyClock::now() - start;
+        ++worker->executed;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        RunTaskBody(t);
+      }
+    }
+    if (t->epoch_gate != nullptr) t->epoch_gate->Arrive();
+  }
+}
+
+std::uint32_t ThreadRuntime::LaneOf(const Task* task,
+                                    std::uint32_t prev_worker) const {
+  if (stopped_ || workers_.empty()) return kCoord;
+  if (task->node < workers_.size()) return task->node;
+  if (!options_.steal_untagged) return kCoord;
+  if (task->cls == ExecClass::kParallel) return kStealPool;
+  // Untagged exclusive with stealing on: ride the chain in progress.
+  return prev_worker < workers_.size() ? prev_worker : 0;
+}
+
+std::uint64_t ThreadRuntime::RunEpochs(SimTime horizon,
+                                       std::uint64_t max_events,
+                                       bool bounded_horizon) {
+  std::uint64_t ran = 0;
+  SimTime next;
+  while (ran < max_events && clock_->PeekNextTime(&next) &&
+         (!bounded_horizon || next <= horizon)) {
+    if (options_.time_scale > 0) Pace(next);
+    // Collect one WAVE: every ready event at `next`. Firing wrappers
+    // append their tasks to the plan instead of dispatching. Events a
+    // wave schedules back at the same timestamp (zero-delay follow-ups)
+    // have higher seq and form the next wave — still same-T, exactly
+    // the serial order.
+    collecting_ = true;
+    plan_.clear();
+    const std::uint64_t budget = max_events - ran;
+    std::uint64_t steps = 0;
+    while (steps < budget) {
+      if (!clock_->Step()) break;
+      ++steps;
+      SimTime t2;
+      if (!clock_->PeekNextTime(&t2) || t2 != next) break;
+    }
+    collecting_ = false;
+    ran += steps;
+    ExecuteWave();
+    ReleaseWave();
+  }
+  return ran;
+}
+
+void ThreadRuntime::ExecuteWave() {
+  const std::size_t n = plan_.size();
+  if (n == 0) return;
+  ++epochs_;
+  if (n > epoch_width_max_) epoch_width_max_ = n;
+  if (n > plan_high_water_) plan_high_water_ = n;
+  epoch_width_profile_.Record(static_cast<double>(n));
+  plan_cursor_ = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    plan_[k]->plan_index = static_cast<std::uint32_t>(k);
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    Task* t = plan_[i];
+    if (t->cls == ExecClass::kParallel) {
+      // Maximal run of parallel-class tasks: one concurrent group.
+      std::size_t j = i;
+      while (j < n && plan_[j]->cls == ExecClass::kParallel) ++j;
+      ExecParallelGroup(i, j);
+      i = j;
+    } else if (LaneOf(t, kCoord) == kCoord) {
+      // Untagged exclusive without stealing: inline on the
+      // coordinator, exactly like turn-based dispatch.
+      t->exec_node = kCoord;
+      plan_cursor_ = i;
+      if (!t->cancelled) RunTaskBody(t);
+      ++i;
+    } else {
+      // Maximal run of worker-lane exclusive tasks: chained serial
+      // segment, retired with one barrier.
+      std::size_t j = i;
+      while (j < n && plan_[j]->cls == ExecClass::kExclusive &&
+             LaneOf(plan_[j], 0) != kCoord) {
+        ++j;
+      }
+      ExecSerialSegment(i, j);
+      i = j;
+    }
+  }
+  plan_cursor_ = n;
+  // Planned-lane accounting, applied after the wave so cancellation is
+  // settled: deterministic even when sheds/steals move actual
+  // execution around (see dispatched()).
+  for (std::size_t k = 0; k < n; ++k) {
+    Task* t = plan_[k];
+    if (t->cancelled) continue;
+    if (t->exec_node == kCoord) {
+      ++inline_events_;
+    } else {
+      ++dispatched_;
+    }
+  }
+}
+
+void ThreadRuntime::ExecSerialSegment(std::size_t begin, std::size_t end) {
+  // Resolve lanes left to right; untagged tasks (stealing on) ride the
+  // chain they interrupt, or the first tagged successor when leading.
+  std::uint32_t prev = kCoord;
+  for (std::size_t k = begin; k < end; ++k) {
+    Task* t = plan_[k];
+    std::uint32_t lane = LaneOf(t, prev);
+    if (prev == kCoord && t->node >= workers_.size()) {
+      for (std::size_t m = k + 1; m < end; ++m) {
+        if (plan_[m]->node < workers_.size()) {
+          lane = plan_[m]->node;
+          break;
+        }
+      }
+    }
+    t->exec_node = lane;
+    prev = lane;
+  }
+  // Chain consecutive same-lane tasks (zero hand-offs inside a chain);
+  // baton-link each chain's tail to the next chain's head; the last
+  // tail owes the segment barrier.
+  Task* first_chain = nullptr;
+  Task* chain_head = nullptr;
+  Task* tail = nullptr;
+  std::uint32_t chain_len = 0;
+  for (std::size_t k = begin; k < end; ++k) {
+    Task* t = plan_[k];
+    t->run_next = nullptr;
+    t->chain_next = nullptr;
+    t->epoch_gate = nullptr;
+    t->done = nullptr;
+    t->weight = 1;
+    if (chain_head != nullptr && t->exec_node == chain_head->exec_node) {
+      tail->run_next = t;
+      tail = t;
+      ++chain_len;
+    } else {
+      if (chain_head != nullptr) {
+        chain_head->weight = chain_len;
+        tail->chain_next = t;
+      } else {
+        first_chain = t;
+      }
+      chain_head = t;
+      tail = t;
+      chain_len = 1;
+    }
+  }
+  chain_head->weight = chain_len;
+  tail->epoch_gate = &epoch_gate_;
+  epoch_gate_.Reset(1);
+  Mailbox& box = workers_[first_chain->exec_node]->box;
+  Mailbox::PushResult r =
+      box.PushChain(first_chain, options_.overflow == OverflowPolicy::kBlock);
+  if (r != Mailbox::PushResult::kOk) {
+    if (r == Mailbox::PushResult::kFull) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    RunChainFrom(first_chain, nullptr);
+  }
+  epoch_gate_.Wait();
+}
+
+void ThreadRuntime::ExecParallelGroup(std::size_t begin, std::size_t end) {
+  const std::size_t num_workers = workers_.size();
+  group_heads_.assign(num_workers, nullptr);
+  group_tails_.assign(num_workers, nullptr);
+  shed_chains_.clear();
+  std::size_t chains = 0;
+  std::size_t steal_tasks = 0;
+  for (std::size_t k = begin; k < end; ++k) {
+    Task* t = plan_[k];
+    t->run_next = nullptr;
+    t->chain_next = nullptr;
+    t->epoch_gate = nullptr;
+    t->done = nullptr;
+    t->weight = 1;
+    t->parallel_group = true;
+    const std::uint32_t lane = LaneOf(t, kCoord);
+    t->exec_node = lane;
+    if (lane < num_workers) {
+      // Same-node tasks keep FIFO order in one chain per worker.
+      if (group_heads_[lane] == nullptr) {
+        group_heads_[lane] = t;
+        ++chains;
+      } else {
+        group_tails_[lane]->run_next = t;
+        ++group_heads_[lane]->weight;
+      }
+      group_tails_[lane] = t;
+    } else if (lane == kStealPool) {
+      ++steal_tasks;
+    }
+  }
+  // Arm the barrier before anything is in flight: one arrival per
+  // chain (its tail) plus one per steal-pool task.
+  epoch_gate_.Reset(chains + steal_tasks);
+  for (std::size_t node = 0; node < num_workers; ++node) {
+    Task* head = group_heads_[node];
+    if (head == nullptr) continue;
+    group_tails_[node]->epoch_gate = &epoch_gate_;
+    Mailbox::PushResult r = workers_[node]->box.PushChain(
+        head, options_.overflow == OverflowPolicy::kBlock);
+    if (r == Mailbox::PushResult::kOk) continue;
+    if (r == Mailbox::PushResult::kFull) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shed_chains_.push_back(head);
+  }
+  if (steal_tasks > 0) {
+    for (std::size_t k = begin; k < end; ++k) {
+      Task* t = plan_[k];
+      if (t->exec_node != kStealPool) continue;
+      t->epoch_gate = &epoch_gate_;
+      if (steal_box_.PushChain(t, false) != Mailbox::PushResult::kOk) {
+        // Closed (shutdown): run inline, still settle the barrier.
+        if (!t->cancelled) RunTaskBody(t);
+        epoch_gate_.Arrive();
+      }
+    }
+  }
+  // The coordinator's share while workers chew: chains shed by full
+  // mailboxes, its own untagged tasks, then help drain the steal pool.
+  for (Task* head : shed_chains_) RunChainFrom(head, nullptr);
+  for (std::size_t k = begin; k < end; ++k) {
+    Task* t = plan_[k];
+    if (t->exec_node == kCoord && !t->cancelled) RunTaskBody(t);
+  }
+  DrainStealPool(nullptr);
+  epoch_gate_.Wait();
+  // Replay deferred schedules in plan-slot order — identical sequence
+  // assignment to the serial oracle, which ran each callback (and its
+  // schedules) at exactly this slot position.
+  for (std::size_t k = begin; k < end; ++k) {
+    Task* t = plan_[k];
+    t->parallel_group = false;
+    for (DeferredSchedule& d : t->deferred) {
+      Schedule(d.node, d.when, std::move(d.fn), d.cls);
+    }
+    t->deferred.clear();
+  }
+}
+
+void ThreadRuntime::ReleaseWave() {
+  for (Task* t : plan_) {
+    if (t->fn != nullptr) {
+      // Repeat-series task: owned by its wrapper for the series' life;
+      // clear only the wave-transient state.
+      t->done = nullptr;
+      t->weight = 1;
+      t->parallel_group = false;
+      t->cancelled = false;
+      t->run_next = nullptr;
+      t->chain_next = nullptr;
+      t->epoch_gate = nullptr;
+    } else {
+      pool_->Release(t);
+    }
+  }
+  plan_.clear();
 }
 
 void ThreadRuntime::WorkerLoop(std::uint32_t index) {
   Worker& w = *workers_[index];
   while (Task* task = w.box.Pop()) {
-    SteadyClock::time_point start = SteadyClock::now();
-    (*task->fn)();
-    w.busy += SteadyClock::now() - start;
-    ++w.executed;
-    if (task->done != nullptr) task->done->Signal();
+    RunChainFrom(task, &w);
   }
   // Mailbox closed and drained: rendezvous so no worker exits while a
   // sibling still holds undrained work.
@@ -132,6 +547,13 @@ void ThreadRuntime::Pace(SimTime next) {
 
 std::uint64_t ThreadRuntime::RunUntil(SimTime horizon) {
   RunScope scope(&wall_seconds_, &sim_seconds_, clock_);
+  if (options_.dispatch == DispatchMode::kEpoch && !stopped_) {
+    std::uint64_t ran = RunEpochs(horizon, ~std::uint64_t{0}, true);
+    // Nothing left at or before the horizon; advance Now() to it,
+    // exactly as the sim backend does.
+    clock_->RunUntil(horizon);
+    return ran;
+  }
   if (options_.time_scale <= 0) return clock_->RunUntil(horizon);
   std::uint64_t ran = 0;
   SimTime next;
@@ -140,14 +562,15 @@ std::uint64_t ThreadRuntime::RunUntil(SimTime horizon) {
     if (!clock_->Step()) break;
     ++ran;
   }
-  // Nothing left at or before the horizon; advance Now() to it, exactly
-  // as the sim backend does.
   clock_->RunUntil(horizon);
   return ran;
 }
 
 std::uint64_t ThreadRuntime::Run(std::uint64_t max_events) {
   RunScope scope(&wall_seconds_, &sim_seconds_, clock_);
+  if (options_.dispatch == DispatchMode::kEpoch && !stopped_) {
+    return RunEpochs(SimTime::Zero(), max_events, false);
+  }
   if (options_.time_scale <= 0) return clock_->Run(max_events);
   std::uint64_t ran = 0;
   SimTime next;
@@ -162,6 +585,7 @@ std::uint64_t ThreadRuntime::Run(std::uint64_t max_events) {
 void ThreadRuntime::Shutdown() {
   if (stopped_) return;
   stopped_ = true;
+  steal_box_.Close();
   for (auto& w : workers_) w->box.Close();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -175,11 +599,21 @@ double ThreadRuntime::worker_busy_seconds() const {
   return total;
 }
 
+std::uint64_t ThreadRuntime::backpressure_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->box.stalls();
+  return total;
+}
+
 void ThreadRuntime::PublishMetrics() {
   if (metrics_ == nullptr) return;
   // Wall-clock-derived values go to kProfile metrics only: they are
   // nondeterministic by nature and must never leak into deterministic
   // snapshots (obs::SnapshotOptions excludes kProfile by default).
+  // That covers the epoch-shape numbers too: steal and shed counts
+  // depend on which thread won a race, and keeping the whole family
+  // kProfile keeps threads-backend snapshots bit-identical to the sim
+  // oracle's.
   obs::MetricsRegistry::StatsHandle busy =
       metrics_->GetProfile("runtime.worker_busy_seconds");
   obs::MetricsRegistry::StatsHandle depth =
@@ -196,6 +630,24 @@ void ThreadRuntime::PublishMetrics() {
   if (sim_seconds_ > 0) {
     metrics_->GetProfile("runtime.wall_sim_ratio")
         .Record(wall_seconds_ / sim_seconds_);
+  }
+  // Coordinator dispatch-queue high-water mark (plan slots), the
+  // backpressure-tuning signal mailbox_max_depth alone can't give.
+  metrics_->GetProfile("runtime.dispatch_queue_max_depth")
+      .Record(static_cast<double>(plan_high_water_));
+  if (options_.dispatch == DispatchMode::kEpoch) {
+    metrics_->GetProfile("runtime.epoch_count")
+        .Record(static_cast<double>(epochs_));
+    metrics_->GetProfile("runtime.epoch_width_max")
+        .Record(static_cast<double>(epoch_width_max_));
+    metrics_->GetProfile("runtime.epoch_steals")
+        .Record(static_cast<double>(steal_count()));
+  }
+  if (options_.mailbox_capacity != 0) {
+    metrics_->GetProfile("runtime.backpressure_stalls")
+        .Record(static_cast<double>(backpressure_stalls()));
+    metrics_->GetProfile("runtime.backpressure_sheds")
+        .Record(static_cast<double>(shed_count()));
   }
 }
 

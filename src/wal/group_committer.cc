@@ -75,13 +75,23 @@ void GroupCommitter::StartFlush() {
   metrics_->flush_records.Record(records);
   metrics_->records_synced.Increment(records);
   const std::uint64_t epoch = epoch_;
-  rt_->ScheduleAfterNode(node_, options_.flush_latency,
-                         [this, epoch, target]() {
-                           if (epoch != epoch_) return;  // crashed mid-flush
-                           wal_->CompleteFlush(target);
-                           in_flight_ = false;
-                           OnFlushDurable();
-                         });
+  // Two halves: the sync itself touches only this node's file, so it
+  // runs as a parallel-class event (concurrent with other nodes' syncs
+  // under epoch dispatch); advancing the durable line and firing parked
+  // commits mutate shared state, so that stays an exclusive event,
+  // chained at the same virtual time. Under the sim backend the split
+  // is just two back-to-back events — same bits either way.
+  rt_->ScheduleParallelAfterNode(
+      node_, options_.flush_latency, [this, epoch, target]() {
+        if (epoch != epoch_) return;  // crashed mid-flush
+        wal_->SyncFile();
+        rt_->ScheduleAfterNode(node_, SimTime::Zero(), [this, epoch, target]() {
+          if (epoch != epoch_) return;
+          wal_->CompleteFlush(target);
+          in_flight_ = false;
+          OnFlushDurable();
+        });
+      });
 }
 
 void GroupCommitter::OnFlushDurable() {

@@ -64,6 +64,11 @@ std::uint64_t Wal::BeginFlush() {
   return appended_lsn_;
 }
 
+void Wal::SyncFile() {
+  assert(open());
+  file_->Sync();
+}
+
 void Wal::CompleteFlush(std::uint64_t target_lsn) {
   assert(open());
   file_->Sync();

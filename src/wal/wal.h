@@ -59,6 +59,12 @@ class Wal {
   /// (a pure sync barrier).
   std::uint64_t BeginFlush();
 
+  /// The expensive half of a flush: syncs the file (a real fdatasync
+  /// under FileWalBackend's fsync knob). Touches only this node's file
+  /// — safe to run off the coordinator as a parallel-class event.
+  /// Idempotent; CompleteFlush re-syncs harmlessly after it.
+  void SyncFile();
+
   /// The flush's sync landed: everything written is durable.
   void CompleteFlush(std::uint64_t target_lsn);
 

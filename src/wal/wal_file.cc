@@ -38,7 +38,7 @@ class MemWalFile : public WalFile {
 
 class StdioWalFile : public WalFile {
  public:
-  explicit StdioWalFile(std::FILE* f) : f_(f) {}
+  StdioWalFile(std::FILE* f, bool fsync) : f_(f), fsync_(fsync) {}
 
   ~StdioWalFile() override {
     if (f_ != nullptr) std::fclose(f_);
@@ -65,9 +65,17 @@ class StdioWalFile : public WalFile {
   }
 
   void Sync() override {
-    if (f_ == nullptr) return;
-    // A real deployment would fsync here; the simulated flush latency
-    // already models the cost, and tests on tmpfs would only pay noise.
+    if (f_ == nullptr || synced_ == size_) return;  // idempotent
+    // By default the simulated flush latency models the sync cost and
+    // tests on tmpfs would only pay noise; with the fsync knob on, the
+    // durability line is backed by a real fdatasync so the bench table
+    // shows the honest price.
+    if (fsync_) {
+      if (::fdatasync(::fileno(f_)) != 0) {
+        std::fprintf(stderr, "wal: fdatasync failed\n");
+        std::abort();
+      }
+    }
     synced_ = size_;
   }
 
@@ -76,6 +84,7 @@ class StdioWalFile : public WalFile {
 
  private:
   std::FILE* f_;
+  bool fsync_;
   std::uint64_t size_ = 0;
   std::uint64_t synced_ = 0;
 };
@@ -144,8 +153,9 @@ std::vector<std::uint8_t>* MemWalBackend::SegmentBytes(NodeId node,
   return &per_node[segment]->bytes;
 }
 
-FileWalBackend::FileWalBackend(std::string dir, std::uint32_t num_nodes)
-    : dir_(std::move(dir)), created_(num_nodes, 0) {
+FileWalBackend::FileWalBackend(std::string dir, std::uint32_t num_nodes,
+                               bool fsync)
+    : dir_(std::move(dir)), created_(num_nodes, 0), fsync_(fsync) {
   ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine
   // Probe pre-existing segments (a wal_dir reused across clusters in
   // one test) so SegmentCount reflects what recovery can read.
@@ -169,7 +179,7 @@ std::unique_ptr<WalFile> FileWalBackend::Create(NodeId node,
     std::abort();
   }
   if (segment >= created_[node]) created_[node] = segment + 1;
-  return std::make_unique<StdioWalFile>(f);
+  return std::make_unique<StdioWalFile>(f, fsync_);
 }
 
 std::uint32_t FileWalBackend::SegmentCount(NodeId node) const {

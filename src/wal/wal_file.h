@@ -98,10 +98,13 @@ class MemWalBackend : public WalBackend {
 /// File-system backend: segment `s` of node `n` lives at
 /// `<dir>/wal-n<n>-s<s>.log`. Appends go through stdio with explicit
 /// flushes on Sync; the torn-tail model truncates with POSIX
-/// truncate(). The directory is created on first use.
+/// truncate(). The directory is created on first use. With `fsync`
+/// true, Sync issues a real fdatasync on the segment — the honest
+/// durability cost — instead of only advancing the modeled line.
 class FileWalBackend : public WalBackend {
  public:
-  FileWalBackend(std::string dir, std::uint32_t num_nodes);
+  FileWalBackend(std::string dir, std::uint32_t num_nodes,
+                 bool fsync = false);
 
   std::unique_ptr<WalFile> Create(NodeId node, std::uint32_t segment) override;
   std::uint32_t SegmentCount(NodeId node) const override;
@@ -118,6 +121,7 @@ class FileWalBackend : public WalBackend {
   // Highest created segment + 1 per node, tracked so SegmentCount does
   // not re-probe the file system on the hot path.
   std::vector<std::uint32_t> created_;
+  bool fsync_ = false;
 };
 
 }  // namespace tdr::wal

@@ -36,7 +36,8 @@ WalSet::WalSet(runtime::Runtime* rt, std::uint32_t num_nodes,
     backend_ = std::make_unique<MemWalBackend>(
         num_nodes, static_cast<std::size_t>(options_.segment_bytes));
   } else {
-    backend_ = std::make_unique<FileWalBackend>(options_.wal_dir, num_nodes);
+    backend_ = std::make_unique<FileWalBackend>(options_.wal_dir, num_nodes,
+                                                options_.fsync);
   }
   Wal::Options wal_options;
   wal_options.segment_bytes = options_.segment_bytes;

@@ -194,6 +194,123 @@ TEST(MailboxStressTest, CloseRaceLosesNoAcceptedTask) {
   EXPECT_EQ(executed.load(), accepted.load());
 }
 
+TEST(EpochGateTest, WaitReturnsAfterAllArrivals) {
+  EpochGate gate;
+  gate.Reset(3);
+  std::thread workers([&] {
+    gate.Arrive();
+    gate.Arrive(2);
+  });
+  gate.Wait();  // all three arrivals in, possibly before Wait started
+  workers.join();
+}
+
+TEST(EpochGateTest, ZeroCountWaitReturnsImmediately) {
+  EpochGate gate;
+  gate.Reset(0);
+  gate.Wait();
+}
+
+TEST(EpochGateTest, ReusableAcrossWaves) {
+  EpochGate gate;
+  for (int wave = 1; wave <= 20; ++wave) {
+    gate.Reset(static_cast<std::size_t>(wave));
+    std::thread arrivals([&] {
+      for (int i = 0; i < wave; ++i) gate.Arrive();
+    });
+    gate.Wait();
+    arrivals.join();
+  }
+}
+
+TEST(MailboxBackpressureTest, ShedWhenFullWithoutBlocking) {
+  Mailbox box;
+  box.set_capacity(2);
+  sim::Callback cb = [] {};
+  Task t1{&cb}, t2{&cb}, t3{&cb};
+  EXPECT_EQ(box.PushChain(&t1, /*block_when_full=*/false),
+            Mailbox::PushResult::kOk);
+  EXPECT_EQ(box.PushChain(&t2, false), Mailbox::PushResult::kOk);
+  // Full: a non-blocking push sheds back to the caller.
+  EXPECT_EQ(box.PushChain(&t3, false), Mailbox::PushResult::kFull);
+  EXPECT_EQ(box.depth(), 2u);
+  // Popping makes room again.
+  EXPECT_EQ(box.TryPop(), &t1);
+  EXPECT_EQ(box.PushChain(&t3, false), Mailbox::PushResult::kOk);
+}
+
+TEST(MailboxBackpressureTest, EmptyBoxAlwaysAdmitsOversizedChain) {
+  Mailbox box;
+  box.set_capacity(2);
+  sim::Callback cb = [] {};
+  // A 5-task chain exceeds the bound, but rejecting it from an EMPTY
+  // box would deadlock the producer: empty always admits.
+  Task head{&cb};
+  head.weight = 5;
+  EXPECT_EQ(box.PushChain(&head, false), Mailbox::PushResult::kOk);
+  EXPECT_EQ(box.depth(), 5u);
+  // The oversized chain now blocks further pushes until drained.
+  Task next{&cb};
+  EXPECT_EQ(box.PushChain(&next, false), Mailbox::PushResult::kFull);
+  EXPECT_EQ(box.TryPop(), &head);
+  EXPECT_EQ(box.depth(), 0u);
+  EXPECT_EQ(box.PushChain(&next, false), Mailbox::PushResult::kOk);
+}
+
+TEST(MailboxBackpressureTest, BlockingPushWaitsForRoomAndCountsStall) {
+  Mailbox box;
+  box.set_capacity(1);
+  sim::Callback cb = [] {};
+  Task queued{&cb};
+  ASSERT_EQ(box.PushChain(&queued, true), Mailbox::PushResult::kOk);
+  Task waiting{&cb};
+  std::thread producer([&] {
+    // Full mailbox: this blocks until the consumer pops.
+    EXPECT_EQ(box.PushChain(&waiting, true), Mailbox::PushResult::kOk);
+  });
+  // Give the producer a chance to park, then drain one.
+  while (box.stalls() == 0) std::this_thread::yield();
+  EXPECT_EQ(box.Pop(), &queued);
+  producer.join();
+  EXPECT_EQ(box.depth(), 1u);
+  EXPECT_EQ(box.stalls(), 1u);
+  EXPECT_EQ(box.Pop(), &waiting);
+}
+
+TEST(MailboxBackpressureTest, CloseReleasesBlockedProducer) {
+  Mailbox box;
+  box.set_capacity(1);
+  sim::Callback cb = [] {};
+  Task queued{&cb};
+  ASSERT_EQ(box.PushChain(&queued, true), Mailbox::PushResult::kOk);
+  Task waiting{&cb};
+  std::thread producer([&] {
+    EXPECT_EQ(box.PushChain(&waiting, true), Mailbox::PushResult::kClosed);
+  });
+  while (box.stalls() == 0) std::this_thread::yield();
+  box.Close();
+  producer.join();
+  // Only the accepted task drains.
+  EXPECT_EQ(box.Pop(), &queued);
+  EXPECT_EQ(box.Pop(), nullptr);
+}
+
+TEST(MailboxBackpressureTest, PopDecrementsByChainWeight) {
+  Mailbox box;
+  box.set_capacity(8);
+  sim::Callback cb = [] {};
+  Task chain{&cb};
+  chain.weight = 3;
+  Task single{&cb};
+  EXPECT_EQ(box.PushChain(&chain, false), Mailbox::PushResult::kOk);
+  EXPECT_EQ(box.PushChain(&single, false), Mailbox::PushResult::kOk);
+  EXPECT_EQ(box.depth(), 4u);
+  EXPECT_EQ(box.TryPop(), &chain);
+  EXPECT_EQ(box.depth(), 1u);
+  EXPECT_EQ(box.TryPop(), &single);
+  EXPECT_EQ(box.depth(), 0u);
+}
+
 TEST(StopBarrierTest, AllPartiesRendezvous) {
   constexpr std::size_t kParties = 5;
   StopBarrier barrier(kParties);

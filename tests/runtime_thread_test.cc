@@ -152,6 +152,156 @@ TEST(ThreadRuntimeTest, PacingStretchesWallClock) {
   EXPECT_DOUBLE_EQ(rt.sim_seconds(), 1.0);
 }
 
+ThreadRuntime::Options EpochRun(bool steal = false) {
+  ThreadRuntime::Options opts;
+  opts.dispatch = ThreadRuntime::DispatchMode::kEpoch;
+  opts.steal_untagged = steal;
+  return opts;
+}
+
+// The first test's scenario — schedule/cancel/repeat/run-until — must
+// produce the identical fire log under epoch dispatch too: same ids,
+// same order, same virtual times as the bare simulator.
+TEST(EpochDispatchTest, SemanticsMatchBareSimulator) {
+  auto scenario = [](runtime::Runtime& rt) {
+    std::vector<std::pair<int, double>> log;
+    rt.ScheduleAt(SimTime::Millis(10), [&] { log.emplace_back(1, 0.0); });
+    rt.ScheduleAfter(SimTime::Millis(5),
+                     [&] { log.emplace_back(2, rt.Now().seconds()); });
+    sim::EventId dead =
+        rt.ScheduleAt(SimTime::Millis(7), [&] { log.emplace_back(3, 0.0); });
+    EXPECT_TRUE(rt.Cancel(dead));
+    sim::EventId tick = rt.RepeatEvery(
+        SimTime::Millis(4), [&] { log.emplace_back(4, rt.Now().seconds()); });
+    rt.RunUntil(SimTime::Millis(12));
+    rt.Cancel(tick);
+    rt.Run();
+    EXPECT_EQ(rt.Now(), SimTime::Millis(12));
+    return log;
+  };
+  sim::Simulator plain;
+  auto expected = scenario(plain);
+
+  sim::Simulator clock;
+  ThreadRuntime threads(&clock, /*num_nodes=*/3, EpochRun(), nullptr);
+  auto actual = scenario(threads);
+  EXPECT_EQ(actual, expected);
+}
+
+// Same-timestamp events tagged to distinct nodes form ONE wave and run
+// on the distinct node workers — the epoch-dispatch headline.
+TEST(EpochDispatchTest, WaveRunsDistinctNodesOnTheirWorkers) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/4, EpochRun(), nullptr);
+  std::thread::id coordinator = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    rt.ScheduleAtNode(node, SimTime::Millis(1), [&seen, node] {
+      seen[node] = std::this_thread::get_id();
+    });
+  }
+  rt.Run();
+  EXPECT_EQ(rt.epochs(), 1u);
+  EXPECT_EQ(rt.epoch_width_max(), 4u);
+  EXPECT_EQ(rt.dispatched(), 4u);
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    EXPECT_NE(seen[node], coordinator) << "node " << node;
+    for (std::uint32_t other = 0; other < node; ++other) {
+      EXPECT_NE(seen[node], seen[other]);
+    }
+  }
+}
+
+// Events on ONE node at one timestamp stay FIFO on that node's worker
+// even mid-wave — the per-node serial guarantee.
+TEST(EpochDispatchTest, SameNodeSameTimeKeepsFifoOrder) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/2, EpochRun(), nullptr);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    rt.ScheduleAtNode(1, SimTime::Millis(1),
+                      [&order, i] { order.push_back(i); });
+  }
+  rt.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(rt.epochs(), 1u);
+  EXPECT_EQ(rt.epoch_width_max(), 5u);
+}
+
+// Parallel-class tasks on distinct nodes genuinely overlap in wall
+// time: each parks until it has seen the other inside the wave. Under
+// serial execution this would time out and fail.
+TEST(EpochDispatchTest, ParallelClassTasksOverlapInWallTime) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/2, EpochRun(), nullptr);
+  std::atomic<int> inside{0};
+  std::atomic<int> overlapped{0};
+  for (std::uint32_t node = 0; node < 2; ++node) {
+    rt.ScheduleParallelAtNode(node, SimTime::Millis(1), [&] {
+      inside.fetch_add(1);
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::seconds(5);
+      while (inside.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      if (inside.load() >= 2) overlapped.fetch_add(1);
+    });
+  }
+  rt.Run();
+  EXPECT_EQ(overlapped.load(), 2);
+}
+
+// Schedules made INSIDE a parallel-class task are deferred (id
+// kInvalidEventId, fire-and-forget) and fire on the next wave.
+TEST(EpochDispatchTest, DeferredScheduleFromParallelTaskFires) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/2, EpochRun(), nullptr);
+  std::atomic<bool> followed{false};
+  std::atomic<std::uint64_t> deferred_id{1};
+  rt.ScheduleParallelAtNode(0, SimTime::Millis(1), [&] {
+    deferred_id.store(rt.ScheduleAfterNode(0, SimTime::Millis(1),
+                                           [&] { followed.store(true); }));
+  });
+  rt.Run();
+  EXPECT_EQ(deferred_id.load(), sim::kInvalidEventId);
+  EXPECT_TRUE(followed.load());
+}
+
+// An exclusive event cancelling a SAME-timestamp, later-seq event must
+// hit it even though both are already collected into the wave plan —
+// the GroupCommitter window-cancel pattern.
+TEST(EpochDispatchTest, CancelReachesCollectedSameTimestampEvent) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/2, EpochRun(), nullptr);
+  bool victim_ran = false;
+  bool cancel_hit = false;
+  sim::EventId victim = sim::kInvalidEventId;
+  rt.ScheduleAtNode(0, SimTime::Millis(5),
+                    [&] { cancel_hit = rt.Cancel(victim); });
+  victim = rt.ScheduleAtNode(1, SimTime::Millis(5),
+                             [&] { victim_ran = true; });
+  rt.Run();
+  EXPECT_TRUE(cancel_hit);
+  EXPECT_FALSE(victim_ran);
+}
+
+// With stealing on, untagged exclusive events ride worker lanes
+// instead of running inline on the coordinator.
+TEST(EpochDispatchTest, StealingMovesUntaggedWorkOffCoordinator) {
+  sim::Simulator clock;
+  ThreadRuntime rt(&clock, /*num_nodes=*/2, EpochRun(/*steal=*/true),
+                   nullptr);
+  std::thread::id coordinator = std::this_thread::get_id();
+  std::thread::id where;
+  rt.ScheduleAfter(SimTime::Millis(1),
+                   [&] { where = std::this_thread::get_id(); });
+  rt.Run();
+  EXPECT_NE(where, coordinator);
+  EXPECT_EQ(rt.dispatched(), 1u);
+  EXPECT_EQ(rt.inline_events(), 0u);
+}
+
 // Teardown-order contract on the REAL cluster with the thread backend:
 // a payload lease captured in an undelivered (parked) message legally
 // outlives the scheme that owns the pool. The scheme dies first, the

@@ -45,6 +45,8 @@ IDENTITY_FIELDS = (
     "nodes",
     "num_shards",
     "clients_per_node",
+    "dispatch",
+    "fsync",
 )
 
 # Deterministic outputs of a seeded virtual-time run: exact match.
@@ -74,6 +76,11 @@ IGNORED_FIELDS = (
     "wall_seconds",
     "wall_sim_ratio",
     "runtime_dispatched",
+    "runtime_wall_seconds",
+    "speedup_vs_turn",
+    "seconds",
+    "records_per_sec",
+    "syncs_per_sec",
     "proc.writev_calls",
     "proc.read_calls",
     "proc.partial_writes",
